@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPanelsQuickSubset(t *testing.T) {
+	var buf bytes.Buffer
+	// A tiny custom subset through the real flag path: restrict to LS4 and
+	// lean on the quick sizes but with a small platform via flags.
+	err := run([]string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4", "-timeout", "30s"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Panel LS4", "incremental(s)", "fixpoint(s)", "fit incremental"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Panel NL4") {
+		t.Error("-panels filter ignored")
+	}
+}
+
+func TestHeadlineMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-q", "-headline", "-timeout", "120s"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LS64", "256", "NL64", "384", "593x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAgreementMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-q", "-agreement", "-cores", "4", "-banks", "4"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "identical schedules:") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestScaleMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-q", "-scale"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "8192") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-panels", "LS4", "-cores", "-3"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative cores accepted")
+	}
+}
+
+func TestDataAndSVGOutputs(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-q", "-panels", "NL4", "-cores", "4", "-banks", "4",
+		"-timeout", "30s", "-data", dir + "/data", "-svg", dir + "/svg"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "data", "NL4.csv"))
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "panel,algorithm,tasks") {
+		t.Errorf("csv header: %q", string(csv)[:40])
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "svg", "NL4.svg"))
+	if err != nil {
+		t.Fatalf("svg: %v", err)
+	}
+	if !strings.Contains(string(svg), "<svg") || !strings.Contains(string(svg), "O(n^") {
+		t.Errorf("svg content bad")
+	}
+}
+
+func TestReportOutput(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.md")
+	err := run([]string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4",
+		"-timeout", "30s", "-report", report}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	md, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### Panel LS4", "| tasks |", "- fit `incremental`"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("report missing %q:\n%s", want, md)
+		}
+	}
+}

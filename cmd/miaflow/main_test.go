@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinExample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "src-fir-dec"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"repetition vector [2 2 3 9]",
+		"16 tasks",
+		"schedulable",
+		"within their analyzed windows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPeriodicPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "src-fir-dec", "-period", "800", "-iterations", "3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "steady-state slack") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestPeriodOverrunReported(t *testing.T) {
+	var buf bytes.Buffer
+	// Period far below the iteration makespan (~460 cycles on 4 cores).
+	if err := run([]string{"-example", "src-fir-dec", "-period", "100", "-iterations", "3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "PERIOD OVERRUN") {
+		t.Errorf("overrun not reported:\n%s", buf.String())
+	}
+}
+
+func TestFromJSONFile(t *testing.T) {
+	const src = `{
+		"actors": [
+			{"name": "a", "wcet": 10, "local": 4},
+			{"name": "b", "wcet": 20, "local": 6}
+		],
+		"channels": [{"from": 0, "to": 1, "produce": 2, "consume": 3, "tokenWords": 5}]
+	}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.sdf.json")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-cores", "2", "-banks", "2", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "repetition vector [3 2]") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	for _, s := range []string{"cyclic", "balance", "list"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-strategy", s, "-example", "src-fir-dec", "-nosim"}, &buf); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                    // no input
+		{"-example", "bogus"}, // unknown example
+		{"-strategy", "bogus", "-example", "src-fir-dec"}, // unknown strategy
+		{"/nonexistent.json"},                             // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Inconsistent SDF from file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	bad := `{"actors":[{"name":"a","wcet":1},{"name":"b","wcet":1}],
+		"channels":[{"from":0,"to":1},{"from":0,"to":1,"produce":2}]}`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("inconsistent SDF: err = %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Command miagen generates the random layer-by-layer task graphs of the
+// paper's evaluation (Tobita–Kasahara generation with the published
+// parameter ranges) and writes them as JSON for miasched, or as Graphviz
+// DOT for inspection.
+//
+// Usage:
+//
+//	miagen -layers 4 -layersize 64 -seed 3 -o graph.json
+//	miagen -family NL -fixed 64 -tasks 384 -o nl64.json
+//	miagen -example figure1 -dot figure1.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/mapper"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/stg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "miagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("miagen", flag.ContinueOnError)
+	var (
+		layers    = fs.Int("layers", 0, "number of layers")
+		layerSize = fs.Int("layersize", 0, "tasks per layer")
+		family    = fs.String("family", "", `alternative sizing: "LS" or "NL" with -fixed and -tasks`)
+		fixed     = fs.Int("fixed", 0, "fixed dimension for -family")
+		tasks     = fs.Int("tasks", 0, "total task count for -family")
+		cores     = fs.Int("cores", 16, "number of cores")
+		banks     = fs.Int("banks", 16, "number of memory banks")
+		shared    = fs.Bool("shared", false, "compile all demands onto a single shared bank")
+		seed      = fs.Int64("seed", 1, "random seed")
+		edgeProb  = fs.Float64("edgeprob", 0.5, "probability of an edge to each next-layer task")
+		example   = fs.String("example", "", `emit a named graph instead: "figure1", "figure2" or "avionics"`)
+		fromSTG   = fs.String("fromstg", "", "import a Standard Task Graph (.stg) file instead of generating (synthesizes memory annotations)")
+		out       = fs.String("o", "", "output JSON file (default stdout)")
+		dot       = fs.String("dot", "", "also write Graphviz DOT to this file")
+		stgOut    = fs.String("stg", "", "also export the graph in STG format to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *model.Graph
+	var err error
+	switch {
+	case *fromSTG != "":
+		f, err := os.Open(*fromSTG)
+		if err != nil {
+			return err
+		}
+		parsed, err := stg.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		syn := stg.DefaultSynthesis()
+		syn.Seed = *seed
+		prob, err := parsed.ToProblem(*cores, *banks, syn)
+		if err != nil {
+			return err
+		}
+		g, err = mapper.Map(prob, mapper.RoundRobinLayers{})
+		if err != nil {
+			return err
+		}
+	case *example != "":
+		switch *example {
+		case "figure1":
+			g = gen.Figure1()
+		case "figure2":
+			g = gen.Figure2()
+		case "avionics":
+			g = gen.Avionics()
+		default:
+			return fmt.Errorf("unknown example %q", *example)
+		}
+	case *family != "":
+		if *fixed <= 0 || *tasks <= 0 {
+			return fmt.Errorf("-family needs -fixed and -tasks")
+		}
+		var p gen.Params
+		switch *family {
+		case "LS":
+			if *tasks%*fixed != 0 {
+				return fmt.Errorf("-tasks %d not a multiple of -fixed %d", *tasks, *fixed)
+			}
+			p = gen.NewParams(*tasks / *fixed, *fixed)
+		case "NL":
+			if *tasks%*fixed != 0 {
+				return fmt.Errorf("-tasks %d not a multiple of -fixed %d", *tasks, *fixed)
+			}
+			p = gen.NewParams(*fixed, *tasks / *fixed)
+		default:
+			return fmt.Errorf("unknown family %q (want LS or NL)", *family)
+		}
+		p.Cores, p.Banks, p.SharedBank, p.Seed, p.EdgeProb = *cores, *banks, *shared, *seed, *edgeProb
+		g, err = gen.Layered(p)
+		if err != nil {
+			return err
+		}
+	default:
+		if *layers <= 0 || *layerSize <= 0 {
+			return fmt.Errorf("need -layers and -layersize (or -family / -example); see -h")
+		}
+		p := gen.NewParams(*layers, *layerSize)
+		p.Cores, p.Banks, p.SharedBank, p.Seed, p.EdgeProb = *cores, *banks, *shared, *seed, *edgeProb
+		g, err = gen.Layered(p)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		return err
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f); err != nil {
+			return err
+		}
+	}
+	if *stgOut != "" {
+		f, err := os.Create(*stgOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := stg.Write(f, g); err != nil {
+			return err
+		}
+	}
+	s := g.Stats()
+	fmt.Fprintf(os.Stderr, "miagen: %d tasks, %d edges, %d cores, %d banks, total WCET %d\n",
+		s.Tasks, s.Edges, s.Cores, s.Banks, s.TotalWCET)
+	return nil
+}

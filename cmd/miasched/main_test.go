@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScheduleFigure1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "figure1", "-gantt", "60"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"makespan) = 7 cycles", "n3 I:2", "incremental"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScheduleFixpoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "fixpoint", "-example", "figure1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "fixpoint") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestScheduleFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	const src = `{
+		"cores": 2, "banks": 1,
+		"tasks": [
+			{"id": 0, "name": "a", "wcet": 10, "core": 0, "local": 5},
+			{"id": 1, "name": "b", "wcet": 10, "core": 1, "local": 5}
+		],
+		"edges": []
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "out.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", csvPath, path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if !strings.Contains(string(csv), "a,0,0,10,5,15,15") {
+		t.Errorf("csv content:\n%s", csv)
+	}
+}
+
+func TestScheduleEventsAndPartition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "figure2", "-events", "-partition", "5"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "t=5 C=") {
+		t.Errorf("partition line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "open") {
+		t.Errorf("event log missing")
+	}
+}
+
+func TestScheduleArbiters(t *testing.T) {
+	for _, arb := range []string{"rr", "hier-rr", "tdm", "fp", "none"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-arbiter", arb, "-example", "avionics"}, &buf); err != nil {
+			t.Errorf("%s: %v", arb, err)
+		}
+	}
+}
+
+func TestScheduleUnschedulable(t *testing.T) {
+	if err := run([]string{"-example", "figure1", "-deadline", "3"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("impossible deadline accepted")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	cases := [][]string{
+		{},                    // no input
+		{"-example", "bogus"}, // unknown example
+		{"-algo", "bogus", "-example", "figure1"},               // unknown algorithm
+		{"-arbiter", "bogus", "-example", "figure1"},            // unknown arbiter
+		{"-algo", "fixpoint", "-events", "-example", "figure1"}, // baseline has no trace
+		{"/nonexistent/graph.json"},                             // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestScheduleSVGGantt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig1.svg")
+	if err := run([]string{"-example", "figure1", "-svg", path}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	svg, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read svg: %v", err)
+	}
+	for _, want := range []string{"<svg", "n3 I:2", "makespan 7 cycles"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestCriticalityFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "figure1", "-deadline", "10", "-criticality"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "per-task WCET slack") || !strings.Contains(out, "n3") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"-example", "figure1", "-criticality"}, &bytes.Buffer{}); err == nil {
+		t.Error("criticality without deadline accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/mia-rt/mia
+
+go 1.22

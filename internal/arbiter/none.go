@@ -1,0 +1,22 @@
+package arbiter
+
+import "github.com/mia-rt/mia/internal/model"
+
+// None is the interference-free reference policy: every bound is zero. It
+// computes the schedule a tool would produce if it ignored memory
+// interference altogether — the top timing diagram of the paper's Figure 1
+// (makespan 6 instead of the correct 7) — and serves as the optimistic
+// baseline in the pessimism experiments.
+type None struct{}
+
+// NewNone returns the interference-free policy.
+func NewNone() None { return None{} }
+
+// Name implements Arbiter.
+func (None) Name() string { return "none" }
+
+// Bound implements Arbiter: always zero.
+func (None) Bound(Request, []Request, model.BankID) model.Cycles { return 0 }
+
+// Additive implements Arbiter: zero is trivially additive.
+func (None) Additive() bool { return true }

@@ -1,0 +1,86 @@
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Spec selects an arbitration policy by name with its numeric parameters; it
+// is the command-line-friendly way to construct arbiters in the cmd/ tools.
+type Spec struct {
+	// Policy is one of "rr", "hier-rr", "tdm", "fp".
+	Policy string
+	// WordLatency is the per-access service time in cycles (default 1).
+	WordLatency int64
+	// GroupSize is the first-level group size for "hier-rr" (default 2).
+	GroupSize int
+	// Slots and SlotLength configure "tdm" (defaults: cores of the target
+	// platform must be passed by the caller as Slots; SlotLength 1).
+	Slots      int
+	SlotLength int64
+}
+
+// policies maps policy names to constructors.
+var policies = map[string]func(Spec) Arbiter{
+	"rr": func(s Spec) Arbiter {
+		return NewRoundRobin(cycles(s.WordLatency))
+	},
+	"hier-rr": func(s Spec) Arbiter {
+		g := s.GroupSize
+		if g == 0 {
+			g = 2
+		}
+		return NewHierarchicalRR(cycles(s.WordLatency), g)
+	},
+	"tdm": func(s Spec) Arbiter {
+		return NewTDM(s.Slots, cycles(s.SlotLength))
+	},
+	"fp": func(s Spec) Arbiter {
+		return NewFixedPriority(cycles(s.WordLatency))
+	},
+	"none": func(Spec) Arbiter {
+		return NewNone()
+	},
+	"tree-rr": func(s Spec) Arbiter {
+		g := s.GroupSize
+		if g == 0 {
+			g = 2
+		}
+		slots := s.Slots
+		if slots == 0 {
+			slots = 8
+		}
+		return NewTreeRR(cycles(s.WordLatency), g, slots)
+	},
+	"wrr": func(s Spec) Arbiter {
+		return NewWeightedRR(cycles(s.WordLatency), nil)
+	},
+}
+
+// New builds the arbiter described by spec.
+func New(spec Spec) (Arbiter, error) {
+	ctor, ok := policies[spec.Policy]
+	if !ok {
+		return nil, fmt.Errorf("arbiter: unknown policy %q (known: %v)", spec.Policy, Known())
+	}
+	return ctor(spec), nil
+}
+
+// Known lists the registered policy names in sorted order.
+func Known() []string {
+	names := make([]string, 0, len(policies))
+	for name := range policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func cycles(v int64) model.Cycles {
+	if v < 1 {
+		return 1
+	}
+	return model.Cycles(v)
+}

@@ -1,0 +1,58 @@
+package arbiter
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// RoundRobin is the flat round-robin bank arbiter used throughout the
+// paper's evaluation (the Kalray MPPA-256 RR model of Rihani's thesis).
+//
+// Under round-robin, initiators are granted one access each in circular
+// order as long as they keep requesting. In the worst case, every access of
+// the destination waits for exactly one access of every other initiator that
+// still has pending work; a competitor with w accesses can therefore delay
+// the destination by at most min(w, d) service slots, where d is the
+// destination's own demand. The total bound on bank b is
+//
+//	IBUS(dst, W, b) = WordLatency · Σ_{i∈W} min(w_i, d)
+//
+// This matches the paper's worked example (Section II.A): three cores
+// writing 8 words each through a 1-word bus are each delayed 8+8 = 16
+// cycles.
+type RoundRobin struct {
+	// WordLatency is the bank service time per access, in cycles
+	// (1 on the modeled MPPA-256 cluster bus).
+	WordLatency model.Cycles
+}
+
+// NewRoundRobin returns a flat round-robin arbiter with the given per-word
+// service latency (cycles per access).
+func NewRoundRobin(wordLatency model.Cycles) *RoundRobin {
+	if wordLatency < 1 {
+		wordLatency = 1
+	}
+	return &RoundRobin{WordLatency: wordLatency}
+}
+
+// Name implements Arbiter.
+func (r *RoundRobin) Name() string {
+	return fmt.Sprintf("round-robin(L=%d)", r.WordLatency)
+}
+
+// Bound implements Arbiter.
+func (r *RoundRobin) Bound(dst Request, competitors []Request, _ model.BankID) model.Cycles {
+	if dst.Demand <= 0 {
+		return 0
+	}
+	var slots model.Accesses
+	for _, c := range competitors {
+		slots += minAcc(c.Demand, dst.Demand)
+	}
+	return model.Cycles(slots) * r.WordLatency
+}
+
+// Additive implements Arbiter: the round-robin bound is a sum over
+// competitors.
+func (r *RoundRobin) Additive() bool { return true }

@@ -1,0 +1,100 @@
+package arbiter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+func TestWeightedRRUnitWeightsEqualFlat(t *testing.T) {
+	flat := NewRoundRobin(1)
+	wrr := NewWeightedRR(1, nil)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dst := req(0, int64(rng.Intn(50)+1))
+		var comps []Request
+		for c := 1; c < 8; c++ {
+			if rng.Intn(2) == 0 {
+				comps = append(comps, req(c, int64(rng.Intn(50))))
+			}
+		}
+		return flat.Bound(dst, comps, 0) == wrr.Bound(dst, comps, 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRRFavorsHeavyDestination(t *testing.T) {
+	// Destination with quantum 4 finishes its 8 accesses in 2 rounds, so a
+	// competitor with quantum 1 delays it at most twice.
+	weights := func(c model.CoreID) int64 {
+		if c == 0 {
+			return 4
+		}
+		return 1
+	}
+	wrr := NewWeightedRR(1, weights)
+	if got := wrr.Bound(req(0, 8), []Request{req(1, 100)}, 0); got != 2 {
+		t.Fatalf("favored destination bound = %d, want 2", got)
+	}
+	// Conversely a quantum-1 destination can eat 8 rounds × quantum 4.
+	if got := wrr.Bound(req(1, 8), []Request{req(0, 100)}, 0); got != 32 {
+		t.Fatalf("penalized destination bound = %d, want 32", got)
+	}
+}
+
+func TestWeightedRRCompetitorDemandCaps(t *testing.T) {
+	weights := func(model.CoreID) int64 { return 3 }
+	wrr := NewWeightedRR(1, weights)
+	// Competitor has only 2 accesses: contributes 2, not rounds×3.
+	if got := wrr.Bound(req(0, 9), []Request{req(1, 2)}, 0); got != 2 {
+		t.Fatalf("bound = %d, want 2", got)
+	}
+}
+
+func TestWeightedRRAdditivityAndMonotonicity(t *testing.T) {
+	weights := func(c model.CoreID) int64 { return int64(c%3) + 1 }
+	wrr := NewWeightedRR(1, weights)
+	if !wrr.Additive() {
+		t.Fatal("weighted RR must be additive")
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dst := req(0, int64(rng.Intn(40)+1))
+		var comps []Request
+		for c := 1; c < 8; c++ {
+			comps = append(comps, req(c, int64(rng.Intn(40))))
+		}
+		whole := wrr.Bound(dst, comps, 0)
+		var sum model.Cycles
+		for _, c := range comps {
+			sum += wrr.Bound(dst, []Request{c}, 0)
+		}
+		if whole != sum {
+			return false
+		}
+		grown := append([]Request(nil), comps...)
+		grown[0].Demand += 5
+		return wrr.Bound(dst, grown, 0) >= whole
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRRZeroAndClamp(t *testing.T) {
+	wrr := NewWeightedRR(0, func(model.CoreID) int64 { return 0 })
+	if wrr.WordLatency != 1 {
+		t.Error("latency not clamped")
+	}
+	// Zero weights clamp to 1: behaves like flat RR.
+	if got := wrr.Bound(req(0, 5), []Request{req(1, 9)}, 0); got != 5 {
+		t.Errorf("bound = %d, want 5", got)
+	}
+	if got := wrr.Bound(req(0, 0), []Request{req(1, 9)}, 0); got != 0 {
+		t.Errorf("zero demand bound = %d", got)
+	}
+}

@@ -1,0 +1,317 @@
+// Package bench is the harness that regenerates the paper's evaluation
+// (Section V): timed sweeps of both scheduling algorithms over random
+// layer-by-layer DAGs, with per-run wall-clock timeouts, and log–log
+// regression fits of the empirical complexity exponents — everything behind
+// the six panels of Figure 3, the headline speedup numbers quoted in the
+// text, and the 8000-task scalability claim of the conclusion.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/regress"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/fixpoint"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+// Algorithm is a named scheduler under measurement.
+type Algorithm struct {
+	Name string
+	Run  func(*model.Graph, sched.Options) (*sched.Result, error)
+}
+
+// Incremental returns the paper's O(n²) algorithm as a benchmark subject.
+func Incremental() Algorithm {
+	return Algorithm{Name: "incremental", Run: incremental.Schedule}
+}
+
+// Fixpoint returns the O(n⁴) baseline as a benchmark subject.
+func Fixpoint() Algorithm {
+	return Algorithm{Name: "fixpoint", Run: fixpoint.Schedule}
+}
+
+// Config describes one benchmark panel: a family (LS = fixed layer size,
+// NL = fixed number of layers), the fixed dimension, and the series of
+// total task counts to sweep.
+type Config struct {
+	// Family is "LS" (fixed layer size, growing layer count) or "NL"
+	// (fixed number of layers, growing layer size) — the two input
+	// generation approaches of Section V.
+	Family string
+	// Fixed is the value of the fixed dimension (4, 16 or 64 in Figure 3).
+	Fixed int
+	// Sizes lists the total task counts to measure. Each must be a
+	// multiple of Fixed.
+	Sizes []int
+	// Timeout caps each individual run; an algorithm that times out at
+	// some size is skipped for all larger sizes, like the paper's
+	// benchmark. Zero means no timeout.
+	Timeout time.Duration
+	// Repeats measures each point this many times and keeps the fastest
+	// (default 1).
+	Repeats int
+	// Seed drives graph generation (default 1).
+	Seed int64
+	// Cores and Banks describe the platform (default 16×16, one MPPA-256
+	// compute cluster).
+	Cores, Banks int
+	// SharedBank compiles all demands onto one bank.
+	SharedBank bool
+	// Arbiter is the bus policy (default flat round-robin, latency 1 —
+	// "the Kalray MPPA-256 RR").
+	Arbiter arbiter.Arbiter
+}
+
+// Name renders the panel name in the paper's notation (LS64, NL4, ...).
+func (c Config) Name() string { return fmt.Sprintf("%s%d", c.Family, c.Fixed) }
+
+// params builds the generator parameters for a given total size.
+func (c Config) params(tasks int) (gen.Params, error) {
+	if c.Fixed <= 0 || tasks%c.Fixed != 0 {
+		return gen.Params{}, fmt.Errorf("bench: size %d not a multiple of fixed dimension %d", tasks, c.Fixed)
+	}
+	var p gen.Params
+	switch c.Family {
+	case "LS":
+		p = gen.NewParams(tasks/c.Fixed, c.Fixed)
+	case "NL":
+		p = gen.NewParams(c.Fixed, tasks/c.Fixed)
+	default:
+		return gen.Params{}, fmt.Errorf("bench: unknown family %q (want LS or NL)", c.Family)
+	}
+	if c.Seed != 0 {
+		p.Seed = c.Seed
+	}
+	if c.Cores > 0 {
+		p.Cores = c.Cores
+	}
+	if c.Banks > 0 {
+		p.Banks = c.Banks
+	}
+	p.SharedBank = c.SharedBank
+	return p, nil
+}
+
+// Point is one measured (size, time) sample.
+type Point struct {
+	Tasks      int
+	Seconds    float64
+	TimedOut   bool
+	Skipped    bool
+	Makespan   model.Cycles
+	Iterations int
+}
+
+// Series is one algorithm's measurements across the panel plus its
+// complexity fit.
+type Series struct {
+	Algorithm string
+	Points    []Point
+	Fit       regress.Fit
+	FitOK     bool
+}
+
+// Panel is a completed benchmark panel: the reproduction of one subplot of
+// Figure 3.
+type Panel struct {
+	Config Config
+	Series []Series
+}
+
+// RunPanel sweeps every algorithm over the panel's sizes. progress, when
+// non-nil, receives one line per measurement for interactive feedback.
+func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	panel := &Panel{Config: cfg}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+
+	graphs := make(map[int]*model.Graph, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		p, err := cfg.params(size)
+		if err != nil {
+			return nil, err
+		}
+		g, err := gen.Layered(p)
+		if err != nil {
+			return nil, err
+		}
+		graphs[size] = g
+	}
+
+	for _, algo := range algos {
+		series := Series{Algorithm: algo.Name}
+		dead := false // timed out at a smaller size: skip the rest
+		for _, size := range cfg.Sizes {
+			if dead {
+				series.Points = append(series.Points, Point{Tasks: size, Skipped: true})
+				say("%s %s n=%d: skipped (timed out earlier)", cfg.Name(), algo.Name, size)
+				continue
+			}
+			pt := measure(algo, graphs[size], cfg, repeats)
+			pt.Tasks = size
+			series.Points = append(series.Points, pt)
+			if pt.TimedOut {
+				dead = true
+				say("%s %s n=%d: TIMEOUT (> %v)", cfg.Name(), algo.Name, size, cfg.Timeout)
+			} else {
+				say("%s %s n=%d: %.4fs", cfg.Name(), algo.Name, size, pt.Seconds)
+			}
+		}
+		ns := make([]int, 0, len(series.Points))
+		ts := make([]float64, 0, len(series.Points))
+		for _, pt := range series.Points {
+			if !pt.TimedOut && !pt.Skipped {
+				ns = append(ns, pt.Tasks)
+				ts = append(ts, pt.Seconds)
+			}
+		}
+		if fit, err := regress.LogLog(ns, ts); err == nil {
+			series.Fit, series.FitOK = fit, true
+		}
+		panel.Series = append(panel.Series, series)
+	}
+	return panel, nil
+}
+
+// measure times one algorithm on one graph, best of repeats, honoring the
+// timeout through the scheduler's cancellation hook.
+func measure(algo Algorithm, g *model.Graph, cfg Config, repeats int) Point {
+	best := Point{Seconds: -1}
+	for r := 0; r < repeats; r++ {
+		pt, timedOut := runOnce(algo, g, cfg)
+		if timedOut {
+			return Point{TimedOut: true}
+		}
+		if best.Seconds < 0 || pt.Seconds < best.Seconds {
+			best = pt
+		}
+	}
+	return best
+}
+
+// runOnce performs a single timed run.
+func runOnce(algo Algorithm, g *model.Graph, cfg Config) (Point, bool) {
+	opts := sched.Options{Arbiter: cfg.Arbiter}
+	var timer *time.Timer
+	if cfg.Timeout > 0 {
+		cancel := make(chan struct{})
+		opts.Cancel = cancel
+		timer = time.AfterFunc(cfg.Timeout, func() { close(cancel) })
+		defer timer.Stop()
+	}
+	start := time.Now()
+	res, err := algo.Run(g, opts)
+	elapsed := time.Since(start).Seconds()
+	if errors.Is(err, sched.ErrCanceled) {
+		return Point{}, true
+	}
+	if err != nil {
+		// Unschedulable graphs do not occur in the generated families;
+		// still record the time the failed analysis took.
+		return Point{Seconds: elapsed}, false
+	}
+	return Point{Seconds: elapsed, Makespan: res.Makespan, Iterations: res.Iterations}, false
+}
+
+// WriteTable renders the panel as an aligned text table with one column per
+// algorithm and, when exactly two algorithms were measured, the speedup of
+// the second-listed relative to the first (paper convention: old/new).
+func (p *Panel) WriteTable(w io.Writer) error {
+	cfg := p.Config
+	arbName := "round-robin(L=1)"
+	if cfg.Arbiter != nil {
+		arbName = cfg.Arbiter.Name()
+	}
+	fmt.Fprintf(w, "# Panel %s — family %s, fixed %d, arbiter %s\n", cfg.Name(), cfg.Family, cfg.Fixed, arbName)
+	fmt.Fprintf(w, "%-8s", "tasks")
+	for _, s := range p.Series {
+		fmt.Fprintf(w, " %14s", s.Algorithm+"(s)")
+	}
+	if len(p.Series) == 2 {
+		fmt.Fprintf(w, " %10s", "speedup")
+	}
+	fmt.Fprintln(w)
+	for i, size := range cfg.Sizes {
+		fmt.Fprintf(w, "%-8d", size)
+		var secs []float64
+		for _, s := range p.Series {
+			pt := s.Points[i]
+			switch {
+			case pt.Skipped:
+				fmt.Fprintf(w, " %14s", "-")
+				secs = append(secs, -1)
+			case pt.TimedOut:
+				fmt.Fprintf(w, " %14s", "timeout")
+				secs = append(secs, -1)
+			default:
+				fmt.Fprintf(w, " %14.4f", pt.Seconds)
+				secs = append(secs, pt.Seconds)
+			}
+		}
+		if len(secs) == 2 && secs[0] > 0 && secs[1] > 0 {
+			fmt.Fprintf(w, " %9.0fx", secs[1]/secs[0])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range p.Series {
+		if s.FitOK {
+			fmt.Fprintf(w, "fit %-12s %s\n", s.Algorithm, s.Fit)
+		} else {
+			fmt.Fprintf(w, "fit %-12s (not enough points)\n", s.Algorithm)
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the panel's raw measurement points as CSV
+// (panel,algorithm,tasks,seconds,status), the machine-readable series
+// behind each Figure 3 subplot for external plotting.
+func (p *Panel) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "panel,algorithm,tasks,seconds,status"); err != nil {
+		return err
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			status := "ok"
+			secs := fmt.Sprintf("%.6f", pt.Seconds)
+			switch {
+			case pt.Skipped:
+				status, secs = "skipped", ""
+			case pt.TimedOut:
+				status, secs = "timeout", ""
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s\n",
+				p.Config.Name(), s.Algorithm, pt.Tasks, secs, status); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Figure3Configs returns the six panels of the paper's Figure 3 with the
+// given size lists (quick defaults live in cmd/miabench).
+func Figure3Configs(lsSizes, nlSizes map[int][]int, timeout time.Duration) []Config {
+	var configs []Config
+	for _, fixed := range []int{4, 16, 64} {
+		configs = append(configs, Config{Family: "LS", Fixed: fixed, Sizes: lsSizes[fixed], Timeout: timeout})
+	}
+	for _, fixed := range []int{4, 16, 64} {
+		configs = append(configs, Config{Family: "NL", Fixed: fixed, Sizes: nlSizes[fixed], Timeout: timeout})
+	}
+	return configs
+}

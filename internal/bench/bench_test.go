@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunPanelQuick(t *testing.T) {
+	cfg := Config{
+		Family: "LS", Fixed: 4,
+		Sizes: []int{16, 32, 64},
+		Cores: 4, Banks: 4,
+		Seed: 1,
+	}
+	var progress []string
+	panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()},
+		func(s string) { progress = append(progress, s) })
+	if err != nil {
+		t.Fatalf("RunPanel: %v", err)
+	}
+	if len(panel.Series) != 2 {
+		t.Fatalf("series = %d", len(panel.Series))
+	}
+	for _, s := range panel.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: %d points", s.Algorithm, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			if pt.TimedOut || pt.Skipped {
+				t.Errorf("%s n=%d unexpectedly timed out", s.Algorithm, pt.Tasks)
+			}
+			if pt.Seconds < 0 {
+				t.Errorf("%s n=%d negative time", s.Algorithm, pt.Tasks)
+			}
+			if pt.Makespan <= 0 {
+				t.Errorf("%s n=%d makespan %d", s.Algorithm, pt.Tasks, pt.Makespan)
+			}
+		}
+		if !s.FitOK {
+			t.Errorf("%s: no fit", s.Algorithm)
+		}
+	}
+	if len(progress) != 6 {
+		t.Errorf("progress lines = %d, want 6", len(progress))
+	}
+	// Both algorithms must report the same makespan on the same instances
+	// or differ only by the baseline's extra pessimism — never the other
+	// direction.
+	for i := range panel.Series[0].Points {
+		inc, fix := panel.Series[0].Points[i], panel.Series[1].Points[i]
+		if fix.Makespan < inc.Makespan {
+			t.Errorf("n=%d: baseline makespan %d < incremental %d", inc.Tasks, fix.Makespan, inc.Makespan)
+		}
+	}
+}
+
+func TestRunPanelTimeoutSkipsLargerSizes(t *testing.T) {
+	cfg := Config{
+		Family: "NL", Fixed: 4,
+		Sizes: []int{512, 1024, 2048},
+		Cores: 4, Banks: 1,
+		SharedBank: true,
+		// The baseline needs ~70 ms at n=512 on any machine this decade;
+		// a 10 ms budget forces the timeout path deterministically.
+		Timeout: 10 * time.Millisecond,
+		Seed:    1,
+	}
+	panel, err := RunPanel(cfg, []Algorithm{Fixpoint()}, nil)
+	if err != nil {
+		t.Fatalf("RunPanel: %v", err)
+	}
+	pts := panel.Series[0].Points
+	if !pts[0].TimedOut {
+		t.Fatalf("first point did not time out: %+v", pts[0])
+	}
+	for _, pt := range pts[1:] {
+		if !pt.Skipped {
+			t.Errorf("n=%d not skipped after timeout", pt.Tasks)
+		}
+	}
+	if panel.Series[0].FitOK {
+		t.Error("fit computed from zero usable points")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunPanel(Config{Family: "XX", Fixed: 4, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := RunPanel(Config{Family: "LS", Fixed: 4, Sizes: []int{10}}, []Algorithm{Incremental()}, nil); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+	if _, err := RunPanel(Config{Family: "LS", Fixed: 0, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
+		t.Error("zero fixed dimension accepted")
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	if n := (Config{Family: "LS", Fixed: 64}).Name(); n != "LS64" {
+		t.Errorf("Name = %q", n)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	cfg := Config{Family: "LS", Fixed: 4, Sizes: []int{16, 32}, Cores: 4, Banks: 4, Seed: 1}
+	panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()}, nil)
+	if err != nil {
+		t.Fatalf("RunPanel: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := panel.WriteTable(&buf); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Panel LS4", "incremental(s)", "fixpoint(s)", "speedup", "fit incremental", "O(n^"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Configs(t *testing.T) {
+	ls := map[int][]int{4: {16}, 16: {32}, 64: {64}}
+	nl := map[int][]int{4: {16}, 16: {32}, 64: {64}}
+	configs := Figure3Configs(ls, nl, time.Second)
+	if len(configs) != 6 {
+		t.Fatalf("%d configs, want 6", len(configs))
+	}
+	names := map[string]bool{}
+	for _, c := range configs {
+		names[c.Name()] = true
+		if c.Timeout != time.Second {
+			t.Errorf("%s timeout = %v", c.Name(), c.Timeout)
+		}
+	}
+	for _, want := range []string{"LS4", "LS16", "LS64", "NL4", "NL16", "NL64"} {
+		if !names[want] {
+			t.Errorf("missing panel %s", want)
+		}
+	}
+}
+
+func TestLSAndNLFamiliesShapeGraphsDifferently(t *testing.T) {
+	lsCfg := Config{Family: "LS", Fixed: 4}
+	p, err := lsCfg.params(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LayerSize != 4 || p.Layers != 8 {
+		t.Errorf("LS4 @32: %d layers × %d", p.Layers, p.LayerSize)
+	}
+	nlCfg := Config{Family: "NL", Fixed: 4}
+	p, err = nlCfg.params(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layers != 4 || p.LayerSize != 8 {
+		t.Errorf("NL4 @32: %d layers × %d", p.Layers, p.LayerSize)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	cfg := Config{Family: "NL", Fixed: 4, Sizes: []int{16, 32}, Cores: 4, Banks: 4, Seed: 1}
+	panel, err := RunPanel(cfg, []Algorithm{Incremental()}, nil)
+	if err != nil {
+		t.Fatalf("RunPanel: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := panel.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 points:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "panel,algorithm,tasks,seconds,status" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "NL4,incremental,16,") || !strings.HasSuffix(lines[1], ",ok") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

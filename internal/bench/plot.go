@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"github.com/mia-rt/mia/internal/plot"
+)
+
+// LogLog converts the panel into a Figure 3-style log–log plot: one series
+// per algorithm with its fitted power law, timed-out and skipped points
+// omitted (they have no finite time).
+func (p *Panel) LogLog() *plot.LogLog {
+	ll := &plot.LogLog{
+		Title:  p.Config.Name(),
+		XLabel: "nodes",
+		YLabel: "time (s)",
+	}
+	for _, s := range p.Series {
+		series := plot.Series{Name: s.Algorithm}
+		for _, pt := range s.Points {
+			if pt.TimedOut || pt.Skipped || pt.Seconds <= 0 {
+				continue
+			}
+			series.Xs = append(series.Xs, float64(pt.Tasks))
+			series.Ys = append(series.Ys, pt.Seconds)
+		}
+		if s.FitOK {
+			series.FitOK = true
+			series.FitExponent = s.Fit.Exponent
+			series.FitScale = s.Fit.Scale
+		}
+		ll.Series = append(ll.Series, series)
+	}
+	return ll
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMarkdown renders the panel as a GitHub-flavored Markdown table with
+// the fitted exponents, for inclusion in experiment reports
+// (`miabench -report`).
+func (p *Panel) WriteMarkdown(w io.Writer) error {
+	cfg := p.Config
+	arbName := "round-robin(L=1)"
+	if cfg.Arbiter != nil {
+		arbName = cfg.Arbiter.Name()
+	}
+	fmt.Fprintf(w, "### Panel %s (family %s, fixed %d, arbiter %s)\n\n", cfg.Name(), cfg.Family, cfg.Fixed, arbName)
+	fmt.Fprintf(w, "| tasks |")
+	for _, s := range p.Series {
+		fmt.Fprintf(w, " %s (s) |", s.Algorithm)
+	}
+	if len(p.Series) == 2 {
+		fmt.Fprintf(w, " speedup |")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range p.Series {
+		fmt.Fprintf(w, "---|")
+	}
+	if len(p.Series) == 2 {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for i, size := range cfg.Sizes {
+		fmt.Fprintf(w, "| %d |", size)
+		var secs []float64
+		for _, s := range p.Series {
+			pt := s.Points[i]
+			switch {
+			case pt.Skipped:
+				fmt.Fprintf(w, " — |")
+				secs = append(secs, -1)
+			case pt.TimedOut:
+				fmt.Fprintf(w, " timeout |")
+				secs = append(secs, -1)
+			default:
+				fmt.Fprintf(w, " %.4f |", pt.Seconds)
+				secs = append(secs, pt.Seconds)
+			}
+		}
+		if len(secs) == 2 {
+			if secs[0] > 0 && secs[1] > 0 {
+				fmt.Fprintf(w, " %.0f× |", secs[1]/secs[0])
+			} else {
+				fmt.Fprintf(w, " — |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	for _, s := range p.Series {
+		if s.FitOK {
+			fmt.Fprintf(w, "- fit `%s`: %s\n", s.Algorithm, s.Fit)
+		} else {
+			fmt.Fprintf(w, "- fit `%s`: not enough usable points\n", s.Algorithm)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,37 @@
+package dataflow_test
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/dataflow"
+	"github.com/mia-rt/mia/internal/mapper"
+)
+
+// Example_compile runs the whole front end on a multirate pipeline: balance
+// equations, single-rate expansion, mapping — producing the task graph the
+// interference analysis consumes.
+func Example_compile() {
+	g := &dataflow.Graph{}
+	src := g.AddActor(dataflow.Actor{Name: "src", WCET: 10, Local: 4})
+	dsp := g.AddActor(dataflow.Actor{Name: "dsp", WCET: 25, Local: 8})
+	g.AddChannel(dataflow.Channel{From: src, To: dsp, Produce: 2, Consume: 3, TokenWords: 16})
+
+	reps, err := g.Repetitions()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("repetition vector:", reps)
+
+	mg, err := g.Compile(2, 2, mapper.ListScheduling{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("tasks after expansion:", mg.NumTasks())
+	fmt.Println("edges:", len(mg.Edges()))
+	// Output:
+	// repetition vector: [3 2]
+	// tasks after expansion: 5
+	// edges: 4
+}

@@ -1,0 +1,76 @@
+package dataflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// graphJSON is the on-disk form of an SDF graph, consumed by cmd/miaflow.
+type graphJSON struct {
+	Actors   []actorJSON   `json:"actors"`
+	Channels []channelJSON `json:"channels"`
+}
+
+type actorJSON struct {
+	Name  string         `json:"name"`
+	WCET  model.Cycles   `json:"wcet"`
+	Local model.Accesses `json:"local,omitempty"`
+}
+
+type channelJSON struct {
+	From       int            `json:"from"`
+	To         int            `json:"to"`
+	Produce    int            `json:"produce"`
+	Consume    int            `json:"consume"`
+	Initial    int            `json:"initial,omitempty"`
+	TokenWords model.Accesses `json:"tokenWords,omitempty"`
+}
+
+// ReadJSON parses an SDF graph from r. Rates default to 1 when omitted
+// (homogeneous channels); validation happens at analysis time.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataflow: parsing SDF JSON: %w", err)
+	}
+	g := &Graph{}
+	for _, a := range in.Actors {
+		g.AddActor(Actor{Name: a.Name, WCET: a.WCET, Local: a.Local})
+	}
+	for _, c := range in.Channels {
+		if c.Produce == 0 {
+			c.Produce = 1
+		}
+		if c.Consume == 0 {
+			c.Consume = 1
+		}
+		g.AddChannel(Channel{
+			From: c.From, To: c.To,
+			Produce: c.Produce, Consume: c.Consume,
+			Initial: c.Initial, TokenWords: c.TokenWords,
+		})
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the SDF graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{}
+	for _, a := range g.Actors {
+		out.Actors = append(out.Actors, actorJSON{Name: a.Name, WCET: a.WCET, Local: a.Local})
+	}
+	for _, c := range g.Channels {
+		out.Channels = append(out.Channels, channelJSON{
+			From: c.From, To: c.To, Produce: c.Produce, Consume: c.Consume,
+			Initial: c.Initial, TokenWords: c.TokenWords,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

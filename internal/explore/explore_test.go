@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+// badOrderGraph builds a 1-core graph whose default order is deliberately
+// overridden to a poor one: a long task with a distant consumer scheduled
+// first would be better last.
+func badOrderGraph(t testing.TB) *model.Graph {
+	t.Helper()
+	b := model.NewBuilder(2, 1)
+	// Core 0 runs three independent tasks; core 1 runs a consumer of "a".
+	a := b.AddTask(model.TaskSpec{Name: "a", WCET: 10, Core: 0, Local: 2})
+	x := b.AddTask(model.TaskSpec{Name: "x", WCET: 50, Core: 0, Local: 2})
+	y := b.AddTask(model.TaskSpec{Name: "y", WCET: 50, Core: 0, Local: 2})
+	c := b.AddTask(model.TaskSpec{Name: "c", WCET: 30, Core: 1, Local: 2})
+	b.AddEdge(a, c, 1)
+	// Worst order: a last → c waits 110 before starting.
+	b.SetOrder(0, []model.TaskID{x, y, a})
+	return b.MustBuild()
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	g := badOrderGraph(t)
+	res, err := HillClimb(g, Options{})
+	if err != nil {
+		t.Fatalf("HillClimb: %v", err)
+	}
+	if res.Improved >= res.Initial {
+		t.Fatalf("no improvement: %d → %d", res.Initial, res.Improved)
+	}
+	// Optimal: a first (finish 10), c runs [10,40+I), x/y fill core 0 —
+	// makespan near 110.
+	if res.Improved > 115 {
+		t.Errorf("improved makespan %d, expected ≈110", res.Improved)
+	}
+	// The reported best graph must actually achieve the reported makespan.
+	check, err := incremental.Schedule(res.Best, sched.Options{})
+	if err != nil {
+		t.Fatalf("best graph unschedulable: %v", err)
+	}
+	if check.Makespan != res.Improved {
+		t.Fatalf("best graph makespan %d, reported %d", check.Makespan, res.Improved)
+	}
+	if res.Gain() <= 0 {
+		t.Errorf("gain = %.1f%%", res.Gain())
+	}
+}
+
+func TestHillClimbRespectsDependencies(t *testing.T) {
+	// Same-core dependency chain: no swap may break it; search must not
+	// corrupt the order.
+	b := model.NewBuilder(1, 1)
+	p := b.AddTask(model.TaskSpec{Name: "p", WCET: 10, Local: 1})
+	q := b.AddTask(model.TaskSpec{Name: "q", WCET: 10, Local: 1})
+	r := b.AddTask(model.TaskSpec{Name: "r", WCET: 10, Local: 1})
+	b.AddEdge(p, q, 1)
+	b.AddEdge(q, r, 1)
+	g := b.MustBuild()
+	res, err := HillClimb(g, Options{})
+	if err != nil {
+		t.Fatalf("HillClimb: %v", err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("search corrupted the order: %v", err)
+	}
+	if res.Improved != res.Initial {
+		t.Errorf("fully-ordered chain cannot improve: %d → %d", res.Initial, res.Improved)
+	}
+}
+
+func TestAnnealImproves(t *testing.T) {
+	g := badOrderGraph(t)
+	res, err := Anneal(g, Options{Seed: 3, MaxEvaluations: 400})
+	if err != nil {
+		t.Fatalf("Anneal: %v", err)
+	}
+	if res.Improved >= res.Initial {
+		t.Fatalf("no improvement: %d → %d", res.Initial, res.Improved)
+	}
+	check, err := incremental.Schedule(res.Best, sched.Options{})
+	if err != nil {
+		t.Fatalf("best graph unschedulable: %v", err)
+	}
+	if check.Makespan != res.Improved {
+		t.Fatalf("best graph makespan %d, reported %d", check.Makespan, res.Improved)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g := badOrderGraph(t)
+	a, err := Anneal(g, Options{Seed: 7, MaxEvaluations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(g, Options{Seed: 7, MaxEvaluations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Improved != b.Improved || a.Evaluations != b.Evaluations {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	p := gen.NewParams(6, 8)
+	p.Cores, p.Banks = 4, 4
+	g := gen.MustLayered(p)
+	res, err := Anneal(g, Options{Seed: 1, MaxEvaluations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 50 {
+		t.Fatalf("evaluations = %d, budget 50", res.Evaluations)
+	}
+}
+
+func TestSearchOnPaperWorkload(t *testing.T) {
+	// End-to-end on a layered benchmark DAG: the search must terminate,
+	// never worsen, and the result must stay valid.
+	p := gen.NewParams(5, 8)
+	p.Cores, p.Banks = 4, 2
+	g := gen.MustLayered(p)
+	res, err := HillClimb(g, Options{MaxEvaluations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improved > res.Initial {
+		t.Fatalf("hill climbing worsened: %d → %d", res.Initial, res.Improved)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	sres, err := incremental.Schedule(res.Best, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Check(res.Best, sched.Options{}, sres); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputGraphUntouched(t *testing.T) {
+	g := badOrderGraph(t)
+	before := append([]model.TaskID(nil), g.Order(0)...)
+	if _, err := HillClimb(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anneal(g, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Order(0)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("search mutated the input graph")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package gen produces the task graphs of the paper's evaluation: random
+// layer-by-layer DAGs following the method of Tobita and Kasahara ("A
+// standard task graph set for fair evaluation of multiprocessor scheduling
+// algorithms", Journal of Scheduling 2002) as instantiated by Rihani's
+// thesis and Section V of the DATE 2020 paper, plus the hand-written graphs
+// of the paper's figures.
+//
+// Layer-by-layer generation: tasks are arranged in L layers of S tasks;
+// every edge goes from a task of layer i to a task of layer i+1, carrying a
+// random number of written words. Tasks of the same layer are assigned to
+// cores cyclically — the n-th task of a layer runs on core (n mod cores).
+// Task WCETs, per-task memory accesses and per-edge write volumes are drawn
+// uniformly from the paper's ranges: [550, 650], [250, 550] and [0, 100].
+//
+// All generation is deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Params configures the layer-by-layer generator. NewParams returns the
+// paper's defaults; zero values in a hand-built Params are rejected by
+// Layered rather than silently defaulted.
+type Params struct {
+	// Layers is the number of layers (NL benchmarks fix this).
+	Layers int
+	// LayerSize is the number of tasks per layer (LS benchmarks fix this).
+	LayerSize int
+
+	// Cores and Banks describe the target platform geometry.
+	Cores int
+	Banks int
+
+	// WCETMin/WCETMax bound the per-task WCET in isolation ([550, 650]).
+	WCETMin, WCETMax model.Cycles
+	// AccMin/AccMax bound the per-task local memory accesses ([250, 550]).
+	AccMin, AccMax model.Accesses
+	// WriteMin/WriteMax bound the per-edge written words ([0, 100]).
+	WriteMin, WriteMax model.Accesses
+
+	// EdgeProb is the probability of an edge between a task and each task
+	// of the next layer. Regardless of EdgeProb, every non-first-layer
+	// task receives at least one predecessor so the layering is real.
+	EdgeProb float64
+
+	// SharedBank compiles all demands onto a single bank (maximal
+	// contention) instead of the default per-core reserved banks.
+	SharedBank bool
+
+	// Seed drives the deterministic random source.
+	Seed int64
+}
+
+// NewParams returns the evaluation defaults: the paper's parameter ranges
+// on one Kalray MPPA-256 compute cluster (16 cores, 16 banks).
+func NewParams(layers, layerSize int) Params {
+	return Params{
+		Layers:    layers,
+		LayerSize: layerSize,
+		Cores:     16,
+		Banks:     16,
+		WCETMin:   550,
+		WCETMax:   650,
+		AccMin:    250,
+		AccMax:    550,
+		WriteMin:  0,
+		WriteMax:  100,
+		EdgeProb:  0.5,
+		Seed:      1,
+	}
+}
+
+// Tasks returns the total task count the parameters will generate.
+func (p Params) Tasks() int { return p.Layers * p.LayerSize }
+
+// validate rejects degenerate parameters.
+func (p Params) validate() error {
+	switch {
+	case p.Layers < 1 || p.LayerSize < 1:
+		return fmt.Errorf("gen: need at least 1 layer of 1 task, got %d×%d", p.Layers, p.LayerSize)
+	case p.Cores < 1 || p.Banks < 1:
+		return fmt.Errorf("gen: need at least 1 core and 1 bank, got %d cores, %d banks", p.Cores, p.Banks)
+	case p.WCETMin < 0 || p.WCETMax < p.WCETMin:
+		return fmt.Errorf("gen: bad WCET range [%d, %d]", p.WCETMin, p.WCETMax)
+	case p.AccMin < 0 || p.AccMax < p.AccMin:
+		return fmt.Errorf("gen: bad access range [%d, %d]", p.AccMin, p.AccMax)
+	case p.WriteMin < 0 || p.WriteMax < p.WriteMin:
+		return fmt.Errorf("gen: bad write range [%d, %d]", p.WriteMin, p.WriteMax)
+	case p.EdgeProb < 0 || p.EdgeProb > 1:
+		return fmt.Errorf("gen: edge probability %g outside [0, 1]", p.EdgeProb)
+	}
+	return nil
+}
+
+// Layered generates a random layer-by-layer DAG according to p.
+func Layered(p Params) (*model.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := model.NewBuilder(p.Cores, p.Banks)
+	if p.SharedBank {
+		b.SetBankPolicy(model.SharedBank)
+	}
+
+	ids := make([][]model.TaskID, p.Layers)
+	for layer := 0; layer < p.Layers; layer++ {
+		ids[layer] = make([]model.TaskID, p.LayerSize)
+		for i := 0; i < p.LayerSize; i++ {
+			ids[layer][i] = b.AddTask(model.TaskSpec{
+				Name:  fmt.Sprintf("l%dt%d", layer, i),
+				WCET:  randCycles(rng, p.WCETMin, p.WCETMax),
+				Core:  model.CoreID(i % p.Cores),
+				Local: randAccesses(rng, p.AccMin, p.AccMax),
+			})
+		}
+	}
+	for layer := 0; layer+1 < p.Layers; layer++ {
+		for _, to := range ids[layer+1] {
+			hasPred := false
+			for _, from := range ids[layer] {
+				if rng.Float64() < p.EdgeProb {
+					b.AddEdge(from, to, randAccesses(rng, p.WriteMin, p.WriteMax))
+					hasPred = true
+				}
+			}
+			if !hasPred {
+				from := ids[layer][rng.Intn(len(ids[layer]))]
+				b.AddEdge(from, to, randAccesses(rng, p.WriteMin, p.WriteMax))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MustLayered is Layered panicking on error, for benchmarks with
+// known-good parameters.
+func MustLayered(p Params) *model.Graph {
+	g, err := Layered(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func randCycles(rng *rand.Rand, lo, hi model.Cycles) model.Cycles {
+	if hi == lo {
+		return lo
+	}
+	return lo + model.Cycles(rng.Int63n(int64(hi-lo+1)))
+}
+
+func randAccesses(rng *rand.Rand, lo, hi model.Accesses) model.Accesses {
+	if hi == lo {
+		return lo
+	}
+	return lo + model.Accesses(rng.Int63n(int64(hi-lo+1)))
+}

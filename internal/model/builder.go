@@ -1,0 +1,147 @@
+package model
+
+import "fmt"
+
+// Builder assembles a Graph incrementally. It is the programmatic entry
+// point used by the examples and tests; the random generators in
+// internal/gen and the JSON loader are built on top of it.
+//
+// Usage:
+//
+//	b := model.NewBuilder(4, 4)
+//	n0 := b.AddTask(model.TaskSpec{Name: "n0", WCET: 2, Core: 0})
+//	n1 := b.AddTask(model.TaskSpec{Name: "n1", WCET: 2, Core: 1, MinRelease: 2})
+//	b.AddEdge(n0, n1, 1)
+//	g, err := b.Build()
+//
+// Build validates the graph, computes the default per-core execution order
+// (topological) unless orders were set explicitly, and compiles per-bank
+// demands under the builder's bank policy (per-core banks when the platform
+// has at least one bank per core, a single shared bank otherwise).
+type Builder struct {
+	cores int
+	banks int
+
+	specs  []TaskSpec
+	edges  []Edge
+	orders map[CoreID][]TaskID
+	bankOf func(CoreID) BankID
+
+	err error // first structural error, reported by Build
+}
+
+// NewBuilder returns a Builder for a platform with the given number of cores
+// and arbitrated memory banks. Both must be at least 1.
+func NewBuilder(cores, banks int) *Builder {
+	b := &Builder{cores: cores, banks: banks, orders: make(map[CoreID][]TaskID)}
+	if cores < 1 || banks < 1 {
+		b.err = fmt.Errorf("model: builder needs at least 1 core and 1 bank, got %d cores, %d banks", cores, banks)
+	}
+	return b
+}
+
+// AddTask records a task and returns its ID. IDs are assigned densely in
+// insertion order. Structural problems (negative WCET, core out of range)
+// are reported by Build, so call sites can chain AddTask without per-call
+// error handling.
+func (b *Builder) AddTask(spec TaskSpec) TaskID {
+	id := TaskID(len(b.specs))
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("n%d", id)
+	}
+	if b.err == nil {
+		switch {
+		case spec.WCET < 0:
+			b.err = fmt.Errorf("model: task %q has negative WCET %d", spec.Name, spec.WCET)
+		case spec.Core < 0 || int(spec.Core) >= b.cores:
+			b.err = fmt.Errorf("model: task %q mapped to core %d, platform has %d cores", spec.Name, spec.Core, b.cores)
+		case spec.MinRelease < 0:
+			b.err = fmt.Errorf("model: task %q has negative minimal release %d", spec.Name, spec.MinRelease)
+		case spec.Local < 0:
+			b.err = fmt.Errorf("model: task %q has negative local access count %d", spec.Name, spec.Local)
+		}
+	}
+	b.specs = append(b.specs, spec)
+	return id
+}
+
+// AddEdge records a dependency: to cannot start before from has finished,
+// and from writes words words into to's memory bank.
+func (b *Builder) AddEdge(from, to TaskID, words Accesses) {
+	if b.err == nil {
+		switch {
+		case from < 0 || int(from) >= len(b.specs):
+			b.err = fmt.Errorf("model: edge source %d out of range", from)
+		case to < 0 || int(to) >= len(b.specs):
+			b.err = fmt.Errorf("model: edge target %d out of range", to)
+		case from == to:
+			b.err = fmt.Errorf("model: self-dependency on task %d", from)
+		case words < 0:
+			b.err = fmt.Errorf("model: edge %d->%d has negative write volume %d", from, to, words)
+		}
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to, Words: words})
+}
+
+// SetOrder fixes the execution order of core k explicitly instead of the
+// default topological order. The slice must list exactly the tasks mapped to
+// k; Build validates this.
+func (b *Builder) SetOrder(k CoreID, order []TaskID) {
+	b.orders[k] = append([]TaskID(nil), order...)
+}
+
+// SetBankPolicy overrides the bank-assignment policy used by the demand
+// compiler. The default is BankPerCore when banks >= cores, SharedBank
+// otherwise.
+func (b *Builder) SetBankPolicy(bankOf func(CoreID) BankID) {
+	b.bankOf = bankOf
+}
+
+// Build validates the accumulated tasks and edges and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{Cores: b.cores, Banks: b.banks, edges: append([]Edge(nil), b.edges...)}
+	g.tasks = make([]*Task, len(b.specs))
+	for i, spec := range b.specs {
+		g.tasks[i] = &Task{
+			ID:         TaskID(i),
+			Name:       spec.Name,
+			WCET:       spec.WCET,
+			Core:       spec.Core,
+			MinRelease: spec.MinRelease,
+			Local:      spec.Local,
+		}
+	}
+	g.rebuildAdjacency()
+	if err := g.defaultOrder(); err != nil {
+		return nil, err
+	}
+	for k, order := range b.orders {
+		g.SetOrder(k, order)
+	}
+	policy := b.bankOf
+	if policy == nil {
+		if b.banks >= b.cores {
+			policy = BankPerCore
+		} else {
+			policy = SharedBank
+		}
+	}
+	g.CompileDemands(policy)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for tests and examples with known-good inputs; it
+// panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

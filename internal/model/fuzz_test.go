@@ -1,0 +1,44 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the graph parser never panics and that everything it
+// accepts is structurally valid and survives a serialization round trip.
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{"cores":1,"banks":1,"tasks":[],"edges":[]}`,
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":5,"core":0},{"id":1,"wcet":5,"core":1}],"edges":[{"from":0,"to":1,"words":3}]}`,
+		`{"cores":4,"banks":1,"tasks":[{"id":0,"name":"x","wcet":1,"core":3,"minRelease":7,"local":9}],"edges":[],"bankPolicy":"shared"}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[],"order":[[0]]}`,
+		`{`,
+		`[]`,
+		`{"cores":-1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph fails serialization: %v", err)
+		}
+		g2, err := ReadJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumTasks() != g.NumTasks() || len(g2.Edges()) != len(g.Edges()) {
+			t.Fatal("round trip changed the structure")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation of a task graph, consumed and
+// produced by the cmd/ tools. The format is deliberately flat and explicit
+// so graphs can be authored by hand or emitted by external toolchains
+// (e.g. a dataflow compiler front end).
+type graphJSON struct {
+	Cores int        `json:"cores"`
+	Banks int        `json:"banks"`
+	Tasks []taskJSON `json:"tasks"`
+	Edges []edgeJSON `json:"edges"`
+	// Order optionally fixes the per-core execution order; when omitted the
+	// topological default is used. Order[k] lists task IDs for core k.
+	Order [][]TaskID `json:"order,omitempty"`
+	// BankPolicy selects the demand-compilation policy: "perCore" (default
+	// when banks >= cores), "shared", or "striped".
+	BankPolicy string `json:"bankPolicy,omitempty"`
+}
+
+type taskJSON struct {
+	ID         TaskID   `json:"id"`
+	Name       string   `json:"name,omitempty"`
+	WCET       Cycles   `json:"wcet"`
+	Core       CoreID   `json:"core"`
+	MinRelease Cycles   `json:"minRelease,omitempty"`
+	Local      Accesses `json:"local,omitempty"`
+}
+
+type edgeJSON struct {
+	From  TaskID   `json:"from"`
+	To    TaskID   `json:"to"`
+	Words Accesses `json:"words"`
+}
+
+// WriteJSON serializes the graph to w in the documented JSON format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{Cores: g.Cores, Banks: g.Banks, Order: g.order}
+	for _, t := range g.tasks {
+		out.Tasks = append(out.Tasks, taskJSON{
+			ID: t.ID, Name: t.Name, WCET: t.WCET, Core: t.Core,
+			MinRelease: t.MinRelease, Local: t.Local,
+		})
+	}
+	for _, e := range g.edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Words: e.Words})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a graph from r, validates it, and compiles demands. Tasks
+// may appear in any order but their IDs must form the dense range 0..n-1.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: parsing graph JSON: %w", err)
+	}
+	specs := make([]TaskSpec, len(in.Tasks))
+	seen := make([]bool, len(in.Tasks))
+	for _, t := range in.Tasks {
+		if t.ID < 0 || int(t.ID) >= len(in.Tasks) {
+			return nil, fmt.Errorf("model: task ID %d outside dense range 0..%d", t.ID, len(in.Tasks)-1)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("model: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+		specs[t.ID] = TaskSpec{Name: t.Name, WCET: t.WCET, Core: t.Core, MinRelease: t.MinRelease, Local: t.Local}
+	}
+	b := NewBuilder(in.Cores, in.Banks)
+	for _, spec := range specs {
+		b.AddTask(spec)
+	}
+	for _, e := range in.Edges {
+		b.AddEdge(e.From, e.To, e.Words)
+	}
+	for k, order := range in.Order {
+		b.SetOrder(CoreID(k), order)
+	}
+	switch in.BankPolicy {
+	case "", "default":
+		// Builder default.
+	case "shared":
+		b.SetBankPolicy(SharedBank)
+	case "perCore":
+		b.SetBankPolicy(BankPerCore)
+	case "striped":
+		b.SetBankPolicy(StripedBanks(in.Banks))
+	default:
+		return nil, fmt.Errorf("model: unknown bank policy %q (want shared, perCore or striped)", in.BankPolicy)
+	}
+	return b.Build()
+}

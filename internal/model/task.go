@@ -1,0 +1,79 @@
+package model
+
+import "fmt"
+
+// Task is one node of the task graph. A task executes exactly once, on the
+// core it is mapped to, for at most WCET cycles of isolated execution time.
+// Its response time grows beyond WCET only through memory interference.
+//
+// Demand holds the task's shared-memory access counts per bank, after
+// compilation by Graph.CompileDemands (local accesses to the task's own bank
+// plus the words it writes into the banks of its consumers). Tasks with a nil
+// Demand are treated as making no shared-memory accesses.
+type Task struct {
+	ID   TaskID
+	Name string
+
+	// WCET is the worst-case execution time in isolation, i.e. with no
+	// other core competing for the memory bus.
+	WCET Cycles
+
+	// Core is the processing element the task is mapped to.
+	Core CoreID
+
+	// MinRelease is the minimal release date: the task must not start
+	// before this instant even if all its dependencies complete earlier
+	// (Section II.B of the paper). Zero means "as soon as possible".
+	MinRelease Cycles
+
+	// Local is the number of shared-memory accesses the task performs on
+	// its own behalf (code and local data), charged to the bank associated
+	// with its core by the bank-assignment policy.
+	Local Accesses
+
+	// Demand is the compiled per-bank access count vector, indexed by
+	// BankID. It is filled by Graph.CompileDemands and consumed by the bus
+	// arbiters.
+	Demand []Accesses
+}
+
+// TaskSpec is the user-facing description of a task, consumed by Builder and
+// by the JSON loader. The zero value of optional fields means "default".
+type TaskSpec struct {
+	Name       string
+	WCET       Cycles
+	Core       CoreID
+	MinRelease Cycles
+	Local      Accesses
+}
+
+// TotalDemand returns the task's total number of shared-memory accesses
+// across all banks (zero if demands are not compiled yet).
+func (t *Task) TotalDemand() Accesses {
+	var sum Accesses
+	for _, d := range t.Demand {
+		sum += d
+	}
+	return sum
+}
+
+// AccessesBank reports whether the task performs at least one access on bank
+// b. Tasks that do not access any common bank can never interfere.
+func (t *Task) AccessesBank(b BankID) bool {
+	return int(b) < len(t.Demand) && t.Demand[b] > 0
+}
+
+// String renders a short human-readable description of the task.
+func (t *Task) String() string {
+	return fmt.Sprintf("%s(%q core=%d wcet=%d)", t.ID, t.Name, t.Core, t.WCET)
+}
+
+// clone returns a deep copy of the task.
+func (t *Task) clone() *Task {
+	c := *t
+	if t.Demand != nil {
+		c.Demand = make([]Accesses, len(t.Demand))
+		copy(c.Demand, t.Demand)
+	}
+	return &c
+}

@@ -1,0 +1,105 @@
+package model
+
+import "fmt"
+
+// Validate checks every structural invariant the schedulers rely on:
+//
+//   - platform sanity: at least one core and one bank;
+//   - task sanity: dense IDs, non-negative WCETs, minimal releases and
+//     demands, cores in range;
+//   - edge sanity: endpoints in range, no self-loops, non-negative volumes;
+//   - the dependency graph is acyclic;
+//   - every core's execution order lists exactly the tasks mapped to it,
+//     each exactly once;
+//   - per-core orders do not contradict same-core dependencies (a task
+//     ordered before one of its same-core predecessors can never start:
+//     a guaranteed deadlock, rejected here rather than at scheduling time).
+//
+// Cross-core order/dependency deadlocks (a cycle alternating DAG edges and
+// order edges across cores) are NOT rejected here — detecting them is
+// exactly what the schedulers' deadlock checks do, and both report
+// ErrDeadlock with a diagnostic.
+func (g *Graph) Validate() error {
+	if g.Cores < 1 {
+		return fmt.Errorf("model: graph has %d cores, need at least 1", g.Cores)
+	}
+	if g.Banks < 1 {
+		return fmt.Errorf("model: graph has %d banks, need at least 1", g.Banks)
+	}
+	for i, t := range g.tasks {
+		switch {
+		case t == nil:
+			return fmt.Errorf("model: nil task at index %d", i)
+		case t.ID != TaskID(i):
+			return fmt.Errorf("model: task at index %d has ID %d", i, t.ID)
+		case t.WCET < 0:
+			return fmt.Errorf("model: %s has negative WCET %d", t.ID, t.WCET)
+		case t.MinRelease < 0:
+			return fmt.Errorf("model: %s has negative minimal release %d", t.ID, t.MinRelease)
+		case t.Core < 0 || int(t.Core) >= g.Cores:
+			return fmt.Errorf("model: %s mapped to core %d, platform has %d cores", t.ID, t.Core, g.Cores)
+		case len(t.Demand) > g.Banks:
+			return fmt.Errorf("model: %s has demand on %d banks, platform has %d", t.ID, len(t.Demand), g.Banks)
+		}
+		for b, d := range t.Demand {
+			if d < 0 {
+				return fmt.Errorf("model: %s has negative demand %d on %s", t.ID, d, BankID(b))
+			}
+		}
+	}
+	for _, e := range g.edges {
+		switch {
+		case e.From < 0 || int(e.From) >= len(g.tasks):
+			return fmt.Errorf("model: edge source %d out of range", e.From)
+		case e.To < 0 || int(e.To) >= len(g.tasks):
+			return fmt.Errorf("model: edge target %d out of range", e.To)
+		case e.From == e.To:
+			return fmt.Errorf("model: self-dependency on %s", e.From)
+		case e.Words < 0:
+			return fmt.Errorf("model: edge %s->%s has negative volume %d", e.From, e.To, e.Words)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return g.validateOrders()
+}
+
+func (g *Graph) validateOrders() error {
+	if len(g.order) != g.Cores {
+		return fmt.Errorf("model: execution orders cover %d cores, platform has %d", len(g.order), g.Cores)
+	}
+	position := make([]int, len(g.tasks)) // position on its core's order, -1 = unseen
+	for i := range position {
+		position[i] = -1
+	}
+	total := 0
+	for k, order := range g.order {
+		for pos, id := range order {
+			if id < 0 || int(id) >= len(g.tasks) {
+				return fmt.Errorf("model: order of core %d references unknown task %d", k, id)
+			}
+			t := g.tasks[id]
+			if t.Core != CoreID(k) {
+				return fmt.Errorf("model: order of core %d lists %s, which is mapped to core %d", k, t.ID, t.Core)
+			}
+			if position[id] != -1 {
+				return fmt.Errorf("model: %s appears twice in execution orders", t.ID)
+			}
+			position[id] = pos
+			total++
+		}
+	}
+	if total != len(g.tasks) {
+		return fmt.Errorf("model: execution orders cover %d of %d tasks", total, len(g.tasks))
+	}
+	// Same-core dependency vs order consistency.
+	for _, e := range g.edges {
+		from, to := g.tasks[e.From], g.tasks[e.To]
+		if from.Core == to.Core && position[e.To] < position[e.From] {
+			return fmt.Errorf("model: core %d orders %s before its predecessor %s (certain deadlock)",
+				from.Core, to.ID, from.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package noc models the network-on-chip connecting the compute clusters of
+// the Kalray MPPA-256 (reference [3] of the paper: a 2D torus with
+// deterministic X-then-Y routing and flow regulation at the sources) and
+// bounds worst-case traversal times with the standard (σ, ρ)
+// network-calculus argument.
+//
+// The DATE 2020 paper analyzes one compute cluster; real deployments span
+// several clusters, with the NoC carrying inter-cluster channels. This
+// package provides the missing tier: per-flow worst-case traversal latency
+// bounds, and a multi-cluster fixed-point analysis that composes per-cluster
+// schedules (computed by the paper's O(n²) algorithm) with NoC delays on the
+// cross-cluster edges.
+//
+// Latency model. Each flow f is regulated at its source by a burst σ_f
+// (flits) and a rate ρ_f (flits/cycle ≤ link capacity). On every traversed
+// link, served round-robin against the competing flows S, the queuing delay
+// is bounded by the classic leaky-bucket result
+//
+//	d_link ≤ (Σ_{j∈S} σ_j) / (C − Σ_{j∈S} ρ_j)
+//
+// provided the link is stable (Σ_{j∈S} ρ_j + ρ_f ≤ C). The end-to-end bound
+// adds per-router forwarding latency and the serialization of the packet
+// itself: D = Σ_links d_link + hops·R + L_pkt/C.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// ClusterID identifies a compute cluster (node of the torus).
+type ClusterID int
+
+// Topology is a W×H torus of clusters.
+type Topology struct {
+	// Width and Height of the torus (MPPA-256: 4×4).
+	Width, Height int
+	// LinkCapacity is the link bandwidth in flits/cycle (1 on the D-NoC).
+	LinkCapacity float64
+	// RouterLatency is the per-hop forwarding latency in cycles.
+	RouterLatency model.Cycles
+}
+
+// MPPA256 returns the 4×4 torus of the MPPA-256 D-NoC with unit link
+// capacity and a 3-cycle router traversal.
+func MPPA256() *Topology {
+	return &Topology{Width: 4, Height: 4, LinkCapacity: 1, RouterLatency: 3}
+}
+
+// Validate checks the topology.
+func (t *Topology) Validate() error {
+	switch {
+	case t.Width < 1 || t.Height < 1:
+		return fmt.Errorf("noc: %dx%d torus", t.Width, t.Height)
+	case t.LinkCapacity <= 0:
+		return fmt.Errorf("noc: link capacity %g", t.LinkCapacity)
+	case t.RouterLatency < 0:
+		return fmt.Errorf("noc: negative router latency")
+	}
+	return nil
+}
+
+// Clusters returns the number of clusters.
+func (t *Topology) Clusters() int { return t.Width * t.Height }
+
+// coord splits a ClusterID into torus coordinates.
+func (t *Topology) coord(c ClusterID) (x, y int) {
+	return int(c) % t.Width, int(c) / t.Width
+}
+
+// Link is a directed physical link between adjacent routers, identified by
+// its source cluster and direction.
+type Link struct {
+	From ClusterID
+	// Dir is 0:+x, 1:−x, 2:+y, 3:−y.
+	Dir int
+}
+
+// Route returns the links traversed from src to dst under X-then-Y
+// dimension-order routing with shortest wrap-around (ties broken toward
+// positive direction). An empty route means src == dst (local delivery).
+func (t *Topology) Route(src, dst ClusterID) ([]Link, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := ClusterID(t.Clusters())
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("noc: route %d→%d outside %d-cluster torus", src, dst, n)
+	}
+	var route []Link
+	x, y := t.coord(src)
+	dx, dy := t.coord(dst)
+	step := func(cur, target, size int) (dir, next int) {
+		fwd := (target - cur + size) % size
+		bwd := (cur - target + size) % size
+		if fwd <= bwd {
+			return 0, (cur + 1) % size
+		}
+		return 1, (cur - 1 + size) % size
+	}
+	for x != dx {
+		dir, next := step(x, dx, t.Width)
+		route = append(route, Link{From: ClusterID(y*t.Width + x), Dir: dir})
+		x = next
+	}
+	for y != dy {
+		dir, next := step(y, dy, t.Height)
+		route = append(route, Link{From: ClusterID(y*t.Width + x), Dir: dir + 2})
+		y = next
+	}
+	return route, nil
+}
+
+// Flow is a regulated traffic stream between two clusters.
+type Flow struct {
+	Name string
+	From ClusterID
+	To   ClusterID
+	// Burst is the σ of the source regulator, in flits.
+	Burst float64
+	// Rate is the ρ of the source regulator, in flits/cycle.
+	Rate float64
+	// PacketFlits is the size of one packet (the unit whose worst-case
+	// traversal the analysis bounds).
+	PacketFlits int64
+}
+
+// Latency bounds the worst-case traversal of one packet of flow f, given
+// all flows in the system (including f itself; competitors are the others
+// sharing a link). It returns an error if any shared link is unstable
+// (aggregate rate ≥ capacity) or a flow is malformed.
+func (t *Topology) Latency(f Flow, all []Flow) (model.Cycles, error) {
+	if f.Burst < 0 || f.Rate < 0 || f.Rate > t.LinkCapacity || f.PacketFlits < 0 {
+		return 0, fmt.Errorf("noc: malformed flow %q", f.Name)
+	}
+	route, err := t.Route(f.From, f.To)
+	if err != nil {
+		return 0, err
+	}
+	if len(route) == 0 {
+		return 0, nil // same cluster: local shared memory, no NoC
+	}
+	// Precompute each other flow's link set.
+	type key = Link
+	onLink := make(map[key][]Flow)
+	skippedSelf := false // skip exactly one instance: duplicates are real competitors
+	for _, g := range all {
+		if !skippedSelf && g == f {
+			skippedSelf = true
+			continue
+		}
+		r, err := t.Route(g.From, g.To)
+		if err != nil {
+			return 0, err
+		}
+		for _, l := range r {
+			onLink[l] = append(onLink[l], g)
+		}
+	}
+	delay := float64(f.PacketFlits) / t.LinkCapacity
+	for _, l := range route {
+		var sigma, rho float64
+		for _, g := range onLink[l] {
+			sigma += g.Burst
+			rho += g.Rate
+		}
+		if rho+f.Rate > t.LinkCapacity {
+			return 0, fmt.Errorf("noc: link %v unstable (aggregate rate %.3g + %.3g > capacity %.3g)",
+				l, rho, f.Rate, t.LinkCapacity)
+		}
+		if rho >= t.LinkCapacity {
+			return 0, fmt.Errorf("noc: link %v saturated by competitors", l)
+		}
+		delay += sigma / (t.LinkCapacity - rho)
+	}
+	delay += float64(len(route)) * float64(t.RouterLatency)
+	// Round up to whole cycles; the bound stays sound.
+	return model.Cycles(delay) + 1, nil
+}

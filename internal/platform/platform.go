@@ -1,0 +1,110 @@
+// Package platform describes the hardware targets of the analysis: number
+// of processing elements, number of arbitrated shared-memory banks, bank
+// service latency, and the default arbitration policy.
+//
+// The reference target is one compute cluster of the Kalray MPPA-256
+// ("Andey"/"Bostan" family): 16 user processing elements sharing a
+// multi-banked static memory (16 banks of 128 KiB) through round-robin
+// arbitration with single-cycle word service — the platform of the paper's
+// evaluation. Platforms are plain data; the analysis is parameterized by
+// them, so new architectures are integrated by declaring a new Platform
+// value (the generalization the paper's introduction calls out).
+package platform
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Platform is a many-core target of the interference analysis.
+type Platform struct {
+	// Name identifies the platform in logs and benchmark tables.
+	Name string
+	// Cores is the number of processing elements available to tasks.
+	Cores int
+	// Banks is the number of independently arbitrated shared-memory banks.
+	Banks int
+	// WordLatency is the bank service time per access, in cycles.
+	WordLatency model.Cycles
+	// RRGroupSize is the first-level arbitration group size for platforms
+	// with a hierarchical round-robin tree (2 on the MPPA-256, where PEs
+	// reach the memory through paired arbiters). Zero or one means flat
+	// round-robin.
+	RRGroupSize int
+}
+
+// MPPA256Cluster returns one compute cluster of the Kalray MPPA-256: 16
+// PEs, 16 memory banks, single-cycle bank service, paired first-level
+// round-robin arbitration.
+func MPPA256Cluster() *Platform {
+	return &Platform{
+		Name:        "kalray-mppa256-cluster",
+		Cores:       16,
+		Banks:       16,
+		WordLatency: 1,
+		RRGroupSize: 2,
+	}
+}
+
+// Quad returns a small 4-core, 4-bank platform with flat round-robin
+// arbitration: the configuration of the paper's Figures 1 and 2 and the
+// convenient unit-test target.
+func Quad() *Platform {
+	return &Platform{Name: "quad", Cores: 4, Banks: 4, WordLatency: 1}
+}
+
+// Generic returns a flat round-robin platform with the given geometry.
+func Generic(cores, banks int, wordLatency model.Cycles) *Platform {
+	return &Platform{
+		Name:        fmt.Sprintf("generic-%dc%db", cores, banks),
+		Cores:       cores,
+		Banks:       banks,
+		WordLatency: wordLatency,
+	}
+}
+
+// Validate checks the platform geometry.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Cores < 1:
+		return fmt.Errorf("platform %q: %d cores", p.Name, p.Cores)
+	case p.Banks < 1:
+		return fmt.Errorf("platform %q: %d banks", p.Name, p.Banks)
+	case p.WordLatency < 1:
+		return fmt.Errorf("platform %q: word latency %d", p.Name, p.WordLatency)
+	}
+	return nil
+}
+
+// DefaultArbiter returns the platform's native arbitration policy: flat
+// round-robin, or the hierarchical round-robin tree when RRGroupSize > 1.
+func (p *Platform) DefaultArbiter() arbiter.Arbiter {
+	if p.RRGroupSize > 1 {
+		return arbiter.NewHierarchicalRR(p.WordLatency, p.RRGroupSize)
+	}
+	return arbiter.NewRoundRobin(p.WordLatency)
+}
+
+// FlatRR returns the platform's flat round-robin arbiter regardless of
+// RRGroupSize — the policy the paper's benchmarks use ("the Kalray MPPA-256
+// RR from [6]").
+func (p *Platform) FlatRR() arbiter.Arbiter {
+	return arbiter.NewRoundRobin(p.WordLatency)
+}
+
+// BankPolicy returns the demand-compilation bank policy natural for the
+// platform: one reserved bank per core when enough banks exist, striped
+// otherwise.
+func (p *Platform) BankPolicy() func(model.CoreID) model.BankID {
+	if p.Banks >= p.Cores {
+		return model.BankPerCore
+	}
+	return model.StripedBanks(p.Banks)
+}
+
+// String renders a one-line description.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s{cores=%d banks=%d L=%d}", p.Name, p.Cores, p.Banks, p.WordLatency)
+}

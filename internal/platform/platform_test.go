@@ -1,0 +1,77 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+func TestMPPA256Cluster(t *testing.T) {
+	p := MPPA256Cluster()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Cores != 16 || p.Banks != 16 || p.WordLatency != 1 || p.RRGroupSize != 2 {
+		t.Fatalf("MPPA256Cluster = %+v", p)
+	}
+	if name := p.DefaultArbiter().Name(); !strings.Contains(name, "hier-rr") {
+		t.Errorf("default arbiter = %q, want hierarchical RR", name)
+	}
+	if name := p.FlatRR().Name(); !strings.Contains(name, "round-robin") {
+		t.Errorf("FlatRR = %q", name)
+	}
+}
+
+func TestQuad(t *testing.T) {
+	p := Quad()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if name := p.DefaultArbiter().Name(); !strings.Contains(name, "round-robin") {
+		t.Errorf("quad default arbiter = %q, want flat RR", name)
+	}
+}
+
+func TestGeneric(t *testing.T) {
+	p := Generic(3, 2, 5)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Cores != 3 || p.Banks != 2 || p.WordLatency != 5 {
+		t.Fatalf("Generic = %+v", p)
+	}
+	if !strings.Contains(p.String(), "cores=3") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []*Platform{
+		{Name: "x", Cores: 0, Banks: 1, WordLatency: 1},
+		{Name: "x", Cores: 1, Banks: 0, WordLatency: 1},
+		{Name: "x", Cores: 1, Banks: 1, WordLatency: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad platform %+v accepted", i, p)
+		}
+	}
+}
+
+func TestBankPolicy(t *testing.T) {
+	// Enough banks: per-core policy.
+	p := Generic(4, 8, 1)
+	policy := p.BankPolicy()
+	for k := 0; k < 4; k++ {
+		if got := policy(model.CoreID(k)); got != model.BankID(k) {
+			t.Errorf("perCore policy(%d) = %d", k, got)
+		}
+	}
+	// Fewer banks than cores: striped.
+	p = Generic(4, 2, 1)
+	policy = p.BankPolicy()
+	if policy(2) != 0 || policy(3) != 1 {
+		t.Error("striped policy wrong")
+	}
+}

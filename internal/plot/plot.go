@@ -1,0 +1,163 @@
+// Package plot renders the repository's evaluation artifacts as
+// self-contained SVG documents using only the standard library: log–log
+// runtime plots in the style of the paper's Figure 3 (measurement points,
+// fitted power laws, legends) and schedule Gantt charts in the style of
+// Figure 1. The cmd tools expose both (`miabench -svg`, `miasched -svg`).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one measured curve of a log–log plot.
+type Series struct {
+	Name string
+	// Xs and Ys are the samples; non-positive entries are skipped (log
+	// scale). Paired by index.
+	Xs []float64
+	Ys []float64
+	// FitExponent and FitScale, when FitOK, draw the fitted power law
+	// y = scale·x^exponent as a dashed line labeled O(n^e).
+	FitOK       bool
+	FitExponent float64
+	FitScale    float64
+	// Color is any SVG color; empty picks from the default palette.
+	Color string
+}
+
+// LogLog is a log–log scatter/fit plot.
+type LogLog struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// defaultPalette holds the colors assigned to series without one.
+var defaultPalette = []string{"#1465b0", "#c23b22", "#2e7d32", "#7b1fa2", "#ef6c00", "#00695c"}
+
+const (
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+// Render writes the plot as an SVG of the given pixel size. It returns an
+// error if no series contains at least one positive sample.
+func (p *LogLog) Render(w io.Writer, width, height int) error {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range p.Series {
+		for i := range s.Xs {
+			if i >= len(s.Ys) || s.Xs[i] <= 0 || s.Ys[i] <= 0 {
+				continue
+			}
+			usable++
+			minX, maxX = math.Min(minX, s.Xs[i]), math.Max(maxX, s.Xs[i])
+			minY, maxY = math.Min(minY, s.Ys[i]), math.Max(maxY, s.Ys[i])
+		}
+	}
+	if usable == 0 {
+		return fmt.Errorf("plot: no positive samples to draw")
+	}
+	// Pad the log range to whole decades for clean axes.
+	loX, hiX := math.Floor(math.Log10(minX)), math.Ceil(math.Log10(maxX))
+	loY, hiY := math.Floor(math.Log10(minY)), math.Ceil(math.Log10(maxY))
+	if hiX == loX {
+		hiX++
+	}
+	if hiY == loY {
+		hiY++
+	}
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+	xpos := func(x float64) float64 { return marginL + (math.Log10(x)-loX)/(hiX-loX)*plotW }
+	ypos := func(y float64) float64 { return marginT + plotH - (math.Log10(y)-loY)/(hiY-loY)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%g" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(p.Title))
+
+	// Grid and ticks at decades.
+	for d := loX; d <= hiX; d++ {
+		x := xpos(math.Pow(10, d))
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle">1e%d</text>`+"\n", x, marginT+plotH+16, int(d))
+	}
+	for d := loY; d <= hiY; d++ {
+		y := ypos(math.Pow(10, d))
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="end">1e%d</text>`+"\n", marginL-6, y+4, int(d))
+	}
+	fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n", marginL, marginT, plotW, plotH)
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", marginL+plotW/2, marginT+plotH+38, esc(p.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(p.YLabel))
+
+	legendY := marginT + 8
+	for si, s := range p.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[si%len(defaultPalette)]
+		}
+		// Connected measurement points.
+		var path strings.Builder
+		first := true
+		for i := range s.Xs {
+			if i >= len(s.Ys) || s.Xs[i] <= 0 || s.Ys[i] <= 0 {
+				continue
+			}
+			x, y := xpos(s.Xs[i]), ypos(s.Ys[i])
+			if first {
+				fmt.Fprintf(&path, "M%.1f %.1f", x, y)
+				first = false
+			} else {
+				fmt.Fprintf(&path, " L%.1f %.1f", x, y)
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+		}
+		if !first {
+			fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+		}
+		label := s.Name
+		// Fitted power law as a dashed line across the x range.
+		if s.FitOK && s.FitScale > 0 {
+			x0, x1 := math.Pow(10, loX), math.Pow(10, hiX)
+			y0 := s.FitScale * math.Pow(x0, s.FitExponent)
+			y1 := s.FitScale * math.Pow(x1, s.FitExponent)
+			// Clip to the y range by walking the segment in log space.
+			fmt.Fprintf(&sb, `<clipPath id="clip%d"><rect x="%.1f" y="%.1f" width="%.1f" height="%.1f"/></clipPath>`+"\n",
+				si, marginL, marginT, plotW, plotH)
+			if y0 > 0 && y1 > 0 {
+				fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-dasharray="5,4" clip-path="url(#clip%d)"/>`+"\n",
+					xpos(x0), ypos(y0), xpos(x1), ypos(y1), color, si)
+			}
+			label = fmt.Sprintf("%s — O(n^%.2f)", s.Name, s.FitExponent)
+		}
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", marginL+10, legendY, color)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f">%s</text>`+"\n", marginL+26, legendY+9, esc(label))
+		legendY += 16
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// esc escapes the SVG text payload.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

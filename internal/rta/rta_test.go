@@ -1,0 +1,163 @@
+package rta
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+func TestSingleTaskNoBus(t *testing.T) {
+	s := &System{Cores: 1, Tasks: []Task{
+		{Name: "only", C: 10, T: 100, D: 100},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response[0] != 10 || !res.Schedulable[0] {
+		t.Fatalf("response = %d schedulable=%v", res.Response[0], res.Schedulable[0])
+	}
+}
+
+func TestClassicPreemption(t *testing.T) {
+	// Textbook uniprocessor example: hp task (C=2, T=5), lp task (C=4,
+	// T=20): R_lp = 4 + ⌈R/5⌉·2 → fixed point 8.
+	s := &System{Cores: 1, Tasks: []Task{
+		{Name: "hp", C: 2, T: 5, D: 5, Priority: 0},
+		{Name: "lp", C: 4, T: 20, D: 20, Priority: 1},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response[0] != 2 {
+		t.Errorf("hp response = %d, want 2", res.Response[0])
+	}
+	if res.Response[1] != 8 {
+		t.Errorf("lp response = %d, want 8", res.Response[1])
+	}
+	if !res.AllSchedulable() {
+		t.Error("system wrongly unschedulable")
+	}
+}
+
+func TestDeadlineMiss(t *testing.T) {
+	s := &System{Cores: 1, Tasks: []Task{
+		{Name: "hog", C: 9, T: 10, D: 10, Priority: 0},
+		{Name: "victim", C: 5, T: 40, D: 12, Priority: 1},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable[1] {
+		t.Fatalf("victim schedulable with response %d despite 90%% hp load", res.Response[1])
+	}
+	if res.AllSchedulable() {
+		t.Error("AllSchedulable wrong")
+	}
+}
+
+func TestBusInterferenceAcrossCores(t *testing.T) {
+	// Two single-task cores sharing the bus: responses grow beyond C by
+	// the round-robin collision bound.
+	s := &System{Cores: 2, WordLatency: 1, Tasks: []Task{
+		{Name: "a", Core: 0, C: 20, T: 100, D: 100, Accesses: 8},
+		{Name: "b", Core: 1, C: 20, T: 100, D: 100, Accesses: 8},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res.Response[i] <= 20 {
+			t.Errorf("task %d: response %d shows no bus interference", i, res.Response[i])
+		}
+		if !res.Schedulable[i] {
+			t.Errorf("task %d unschedulable", i)
+		}
+	}
+	// The collision bound is min(own, other) per core pair; with carry-in
+	// the competitor demand is 2×8, own window demand 8 → 8 slots.
+	if res.Response[0] != 28 {
+		t.Errorf("response = %d, want 28", res.Response[0])
+	}
+}
+
+func TestIsolatedCoresNoInterference(t *testing.T) {
+	// Tasks with zero memory demand never interfere across cores.
+	s := &System{Cores: 2, Tasks: []Task{
+		{Name: "a", Core: 0, C: 10, T: 50, D: 50},
+		{Name: "b", Core: 1, C: 10, T: 50, D: 50},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response[0] != 10 || res.Response[1] != 10 {
+		t.Fatalf("responses = %v", res.Response)
+	}
+}
+
+func TestMonotoneInDemand(t *testing.T) {
+	base := func(acc model.Accesses) model.Cycles {
+		s := &System{Cores: 2, Tasks: []Task{
+			{Name: "a", Core: 0, C: 30, T: 200, D: 200, Accesses: 10},
+			{Name: "b", Core: 1, C: 30, T: 200, D: 200, Accesses: acc},
+		}}
+		res, err := s.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Response[0]
+	}
+	prev := base(0)
+	for acc := model.Accesses(2); acc <= 20; acc += 2 {
+		cur := base(acc)
+		if cur < prev {
+			t.Fatalf("response decreased when competitor demand grew: %d → %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []System{
+		{Cores: 0},
+		{Cores: 1, Tasks: []Task{{C: 0, T: 10, D: 10}}},
+		{Cores: 1, Tasks: []Task{{C: 20, T: 10, D: 10}}},
+		{Cores: 1, Tasks: []Task{{C: 5, T: 10, D: 0}}},
+		{Cores: 1, Tasks: []Task{{C: 5, T: 10, D: 20}}},
+		{Cores: 1, Tasks: []Task{{C: 5, T: 10, D: 10, Core: 3}}},
+		{Cores: 1, Tasks: []Task{{C: 5, T: 10, D: 10, Accesses: -1}}},
+	}
+	for i, s := range cases {
+		if _, err := s.Analyze(); err == nil {
+			t.Errorf("case %d: invalid system accepted", i)
+		}
+	}
+}
+
+func TestPriorityTieBreak(t *testing.T) {
+	// Equal priorities: earlier index wins.
+	s := &System{Cores: 1, Tasks: []Task{
+		{Name: "first", C: 3, T: 10, D: 10},
+		{Name: "second", C: 3, T: 10, D: 10},
+	}}
+	res, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response[0] != 3 || res.Response[1] != 6 {
+		t.Fatalf("responses = %v, want [3 6]", res.Response)
+	}
+}
+
+func TestErrorMessagesNameTask(t *testing.T) {
+	s := &System{Cores: 1, Tasks: []Task{{Name: "broken", C: 0, T: 10, D: 10}}}
+	_, err := s.Analyze()
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("err = %v", err)
+	}
+}

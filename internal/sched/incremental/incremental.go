@@ -1,0 +1,344 @@
+// Package incremental implements the paper's contribution: an O(n²)
+// algorithm computing the static time-triggered schedule (release dates and
+// worst-case response times under memory interference) of a task DAG mapped
+// onto a many-core platform — Algorithm 1 of "Scaling Up the Memory
+// Interference Analysis for Hard Real-Time Many-Core Systems" (DATE 2020).
+//
+// Instead of the global fixed-point iterations of the original analysis
+// (Rihani et al., RTNS 2016 — see the sibling fixpoint package), the
+// schedule is built incrementally behind a monotonically advancing time
+// cursor t. Tasks are partitioned into three groups:
+//
+//   - Closed: t is past their finish date; release date and response time
+//     are final.
+//   - Alive: t lies in their execution window; the release date is final
+//     but the response time may still grow as future tasks join.
+//   - Future: t is before their release; nothing is computed yet.
+//
+// At each event the cursor jumps to the nearest finish date of an alive
+// task or minimal release date of a future task. Closing tasks release
+// their dependents; each core then opens the next task of its fixed
+// execution order if it is ready. Interference is only exchanged between
+// *alive* tasks: closed tasks cannot overlap the new ones, and future tasks
+// will contribute when they open. Because at most one task per core is
+// alive at any instant, the alive set is bounded by the core count c, so
+// each of the O(n) events costs O(c²·b) arbiter work — O(c²·b·n²) overall
+// in the worst case, i.e. O(n²) for a fixed platform.
+//
+// Soundness rests on the monotonicity hypothesis of Section II.C: adding a
+// task to the schedule can only increase the interference received by
+// others, hence finish dates only move later and a release date, once
+// assigned, never needs revisiting.
+package incremental
+
+import (
+	"sort"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// Algorithm is the name recorded in results produced by this package.
+const Algorithm = "incremental"
+
+// Schedule computes release dates and worst-case response times for g under
+// opts. It returns an error wrapping sched.ErrUnschedulable when the
+// configured deadline is crossed or the per-core orders deadlock against
+// the dependency DAG; the graph itself is never mutated.
+func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
+	s := newState(g, opts)
+	return s.run()
+}
+
+// slot is the per-core scheduling state: the alive task of the core (if
+// any) and its accumulated per-bank competitor demands.
+type slot struct {
+	task   model.TaskID // NoTask when the core is idle
+	finish model.Cycles
+	// comp[b] holds the competitor demands accumulated against this task
+	// on bank b, grouped per initiator core unless the options request
+	// separate competitors. Slices are reused across tasks occupying the
+	// slot to avoid per-event allocation.
+	comp [][]arbiter.Request
+}
+
+type state struct {
+	g        *model.Graph
+	arb      arbiter.Arbiter
+	deadline model.Cycles
+	separate bool
+	additive bool
+	trace    func(sched.Event)
+	cancel   <-chan struct{}
+
+	res *sched.Result
+
+	depsLeft []int          // unresolved dependencies per task
+	headIdx  []int          // next position in each core's execution order
+	slots    []slot         // per-core alive state
+	minRels  []model.Cycles // sorted minimal release dates of tasks that have one
+	relPtr   int
+
+	closed int
+	events int
+
+	// scratch is the reusable one-element request slice of the additive
+	// fast path; keeping it in state avoids a heap allocation on every
+	// interference update (the slice escapes through the Arbiter
+	// interface).
+	scratch []arbiter.Request
+}
+
+func newState(g *model.Graph, opts sched.Options) *state {
+	n := g.NumTasks()
+	arb := opts.EffectiveArbiter()
+	s := &state{
+		g:        g,
+		arb:      arb,
+		deadline: opts.EffectiveDeadline(),
+		separate: opts.SeparateCompetitors,
+		additive: arb.Additive(),
+		trace:    opts.Trace,
+		cancel:   opts.Cancel,
+		res:      sched.NewResult(Algorithm, n, g.Banks),
+		depsLeft: make([]int, n),
+		headIdx:  make([]int, g.Cores),
+		slots:    make([]slot, g.Cores),
+		scratch:  make([]arbiter.Request, 1),
+	}
+	for i := 0; i < n; i++ {
+		s.depsLeft[i] = len(g.Predecessors(model.TaskID(i)))
+		if m := g.Task(model.TaskID(i)).MinRelease; m > 0 {
+			s.minRels = append(s.minRels, m)
+		}
+	}
+	sort.Slice(s.minRels, func(i, j int) bool { return s.minRels[i] < s.minRels[j] })
+	for k := range s.slots {
+		s.slots[k].task = model.NoTask
+		s.slots[k].comp = make([][]arbiter.Request, g.Banks)
+	}
+	return s
+}
+
+func (s *state) emit(kind sched.EventKind, t model.Cycles, task model.TaskID, value model.Cycles) {
+	if s.trace != nil {
+		s.trace(sched.Event{Kind: kind, Time: t, Task: task, Value: value})
+	}
+}
+
+func (s *state) run() (*sched.Result, error) {
+	n := s.g.NumTasks()
+	var t model.Cycles
+	for s.closed < n {
+		if s.cancel != nil {
+			select {
+			case <-s.cancel:
+				return nil, sched.ErrCanceled
+			default:
+			}
+		}
+		s.events++
+		s.emit(sched.EventCursor, t, model.NoTask, 0)
+
+		// Step 1-2: close alive tasks ending at t and release dependents.
+		s.closeAt(t)
+
+		// Step 3-4: open ready heads of the per-core execution orders.
+		// Newly opened tasks immediately join the alive set, so several
+		// tasks opening at the same event see each other (step 5 pairing
+		// happens inside open).
+		s.openAt(t)
+
+		if s.closed == n {
+			break
+		}
+
+		// Step 6: advance the cursor to the next event.
+		tNext := model.Infinity
+		for k := range s.slots {
+			if s.slots[k].task != model.NoTask && s.slots[k].finish < tNext {
+				tNext = s.slots[k].finish
+			}
+		}
+		for s.relPtr < len(s.minRels) && s.minRels[s.relPtr] <= t {
+			s.relPtr++
+		}
+		if s.relPtr < len(s.minRels) && s.minRels[s.relPtr] < tNext {
+			tNext = s.minRels[s.relPtr]
+		}
+		if tNext == model.Infinity {
+			return nil, sched.Deadlock(t, s.firstBlocked())
+		}
+		if tNext > s.deadline {
+			return nil, sched.DeadlineExceeded(tNext)
+		}
+		t = tNext
+	}
+	s.res.Iterations = s.events
+	s.res.RecomputeMakespan()
+	if s.res.Makespan > s.deadline {
+		return nil, sched.DeadlineExceeded(s.res.Makespan)
+	}
+	return s.res, nil
+}
+
+// closeAt closes every alive task whose finish date equals t.
+func (s *state) closeAt(t model.Cycles) {
+	for k := range s.slots {
+		sl := &s.slots[k]
+		if sl.task == model.NoTask || sl.finish != t {
+			continue
+		}
+		id := sl.task
+		s.res.Response[id] = s.g.Task(id).WCET + s.res.Interference[id]
+		for _, succ := range s.g.Successors(id) {
+			s.depsLeft[succ]--
+		}
+		sl.task = model.NoTask
+		s.closed++
+		s.emit(sched.EventClose, t, id, 0)
+	}
+}
+
+// openAt opens, on every idle core, the head of the execution order if its
+// dependencies are closed and its minimal release date has passed, fixing
+// its release date to t and exchanging interference with the alive set.
+func (s *state) openAt(t model.Cycles) {
+	for k := range s.slots {
+		sl := &s.slots[k]
+		if sl.task != model.NoTask {
+			continue // core busy: at most one alive task per core
+		}
+		order := s.g.Order(model.CoreID(k))
+		if s.headIdx[k] >= len(order) {
+			continue
+		}
+		id := order[s.headIdx[k]]
+		task := s.g.Task(id)
+		if s.depsLeft[id] > 0 || task.MinRelease > t {
+			continue
+		}
+		s.headIdx[k]++
+		sl.task = id
+		s.res.Release[id] = t
+		s.res.Interference[id] = 0
+		sl.finish = t + task.WCET
+		for b := range sl.comp {
+			sl.comp[b] = sl.comp[b][:0]
+		}
+		s.emit(sched.EventOpen, t, id, 0)
+
+		// Step 5: exchange interference with every other alive task. Each
+		// unordered pair of tasks becomes co-alive exactly when the later
+		// one opens, so processing pairs here accounts every interference
+		// exactly once — the "if src not already accounted" bookkeeping of
+		// Algorithm 1 is implicit.
+		for k2 := range s.slots {
+			other := &s.slots[k2]
+			if k2 == k || other.task == model.NoTask {
+				continue
+			}
+			src := s.g.Task(other.task)
+			s.addCompetitor(t, sl, task, src)
+			s.addCompetitor(t, other, src, task)
+		}
+	}
+}
+
+// addCompetitor accounts src's demand against dst (alive in slot sl) on
+// every bank they share, and refreshes dst's interference and finish date.
+func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src *model.Task) {
+	var grew model.Cycles
+	banks := len(dst.Demand)
+	if len(src.Demand) < banks {
+		banks = len(src.Demand)
+	}
+	for b := 0; b < banks; b++ {
+		d, w := dst.Demand[b], src.Demand[b]
+		if d == 0 || w == 0 {
+			continue
+		}
+		grew += s.accountOnBank(sl, dst, src, model.BankID(b), d, w)
+	}
+	if grew == 0 {
+		return
+	}
+	s.res.Interference[sl.task] += grew
+	sl.finish += grew
+	s.emit(sched.EventInterference, t, sl.task, s.res.Interference[sl.task])
+}
+
+// accountOnBank merges src's demand w into dst's competitor set on bank b
+// and returns the growth of dst's interference bound on that bank.
+func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d, w model.Accesses) model.Cycles {
+	dstReq := arbiter.Request{Core: dst.Core, Demand: d}
+	comps := sl.comp[b]
+
+	if s.separate {
+		// Every task is its own competitor entry.
+		sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
+		if s.additive {
+			s.scratch[0] = arbiter.Request{Core: src.Core, Demand: w}
+			delta := s.arb.Bound(dstReq, s.scratch, b)
+			s.res.PerBank[sl.task][b] += delta
+			return delta
+		}
+		return s.recomputeBank(sl, dstReq, b)
+	}
+
+	// Merged mode: grow the entry of src's core, or create it.
+	idx := -1
+	for i := range comps {
+		if comps[i].Core == src.Core {
+			idx = i
+			break
+		}
+	}
+	if s.additive {
+		// Additive fast path: the bound is a sum of per-entry terms, so
+		// only the changed entry's term needs recomputation — O(1) per
+		// update instead of a full rescan. This is the speed-up that the
+		// additivity property of Section II.C enables.
+		var before model.Cycles
+		if idx >= 0 {
+			s.scratch[0] = comps[idx]
+			before = s.arb.Bound(dstReq, s.scratch, b)
+			comps[idx].Demand += w
+			s.scratch[0] = comps[idx]
+		} else {
+			s.scratch[0] = arbiter.Request{Core: src.Core, Demand: w}
+			sl.comp[b] = append(comps, s.scratch[0])
+		}
+		delta := s.arb.Bound(dstReq, s.scratch, b) - before
+		s.res.PerBank[sl.task][b] += delta
+		return delta
+	}
+	if idx >= 0 {
+		comps[idx].Demand += w
+	} else {
+		sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
+	}
+	return s.recomputeBank(sl, dstReq, b)
+}
+
+// recomputeBank re-evaluates the full arbiter bound for one bank (the
+// general, non-additive path) and returns the growth.
+func (s *state) recomputeBank(sl *slot, dstReq arbiter.Request, b model.BankID) model.Cycles {
+	bound := s.arb.Bound(dstReq, sl.comp[b], b)
+	delta := bound - s.res.PerBank[sl.task][b]
+	s.res.PerBank[sl.task][b] = bound
+	return delta
+}
+
+// firstBlocked names a task that can never start, for deadlock diagnostics:
+// the head of some core's order with unmet conditions, or NoTask.
+func (s *state) firstBlocked() model.TaskID {
+	for k := range s.slots {
+		order := s.g.Order(model.CoreID(k))
+		if s.headIdx[k] < len(order) {
+			return order[s.headIdx[k]]
+		}
+	}
+	return model.NoTask
+}

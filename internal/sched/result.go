@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Result is a computed time-triggered schedule: the paper's output
+// (schedulable, Θ, R). All slices are indexed by model.TaskID.
+type Result struct {
+	// Algorithm names the producer ("incremental" or "fixpoint").
+	Algorithm string
+
+	// Release holds the definitive release dates Θ: task i must start
+	// exactly at Release[i], never earlier, even if its inputs are ready.
+	Release []model.Cycles
+
+	// Interference holds each task's total interference delay I_i.
+	Interference []model.Cycles
+
+	// Response holds the worst-case response times R_i = WCET_i + I_i.
+	Response []model.Cycles
+
+	// PerBank holds each task's interference split by memory bank
+	// (PerBank[i][b]); the row sums equal Interference[i].
+	PerBank [][]model.Cycles
+
+	// Makespan is the global worst-case response time of the task graph:
+	// max_i (Release[i] + Response[i]).
+	Makespan model.Cycles
+
+	// Iterations counts algorithm steps: cursor events for the incremental
+	// scheduler, outer fixed-point rounds for the baseline. It feeds the
+	// complexity instrumentation in the benchmark harness.
+	Iterations int
+}
+
+// NewResult allocates a zeroed result for n tasks and b banks.
+func NewResult(algorithm string, n, banks int) *Result {
+	perBank := make([][]model.Cycles, n)
+	backing := make([]model.Cycles, n*banks)
+	for i := range perBank {
+		perBank[i], backing = backing[:banks], backing[banks:]
+	}
+	return &Result{
+		Algorithm:    algorithm,
+		Release:      make([]model.Cycles, n),
+		Interference: make([]model.Cycles, n),
+		Response:     make([]model.Cycles, n),
+		PerBank:      perBank,
+	}
+}
+
+// Finish returns the completion date of task id: Release + Response.
+func (r *Result) Finish(id model.TaskID) model.Cycles {
+	return r.Release[id] + r.Response[id]
+}
+
+// Window returns task id's execution window [release, finish).
+func (r *Result) Window(id model.TaskID) (from, to model.Cycles) {
+	return r.Release[id], r.Finish(id)
+}
+
+// RecomputeMakespan refreshes Makespan from the per-task values.
+func (r *Result) RecomputeMakespan() {
+	var m model.Cycles
+	for i := range r.Release {
+		if f := r.Finish(model.TaskID(i)); f > m {
+			m = f
+		}
+	}
+	r.Makespan = m
+}
+
+// TotalInterference sums interference over all tasks: a scalar pessimism
+// metric used by the ablation experiments.
+func (r *Result) TotalInterference() model.Cycles {
+	var sum model.Cycles
+	for _, v := range r.Interference {
+		sum += v
+	}
+	return sum
+}
+
+// Overlaps reports whether the half-open execution windows of tasks a and b
+// intersect. Windows are half-open ([rel, fin)), so a task finishing exactly
+// when another is released does not overlap it — the close-before-open
+// convention of the incremental algorithm's event loop.
+func (r *Result) Overlaps(a, b model.TaskID) bool {
+	return r.Release[a] < r.Finish(b) && r.Release[b] < r.Finish(a)
+}
+
+// Equal reports whether two results describe the same schedule: identical
+// release dates and response times for every task. Algorithm names,
+// iteration counts and per-bank splits are not compared.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Release) != len(o.Release) {
+		return false
+	}
+	for i := range r.Release {
+		if r.Release[i] != o.Release[i] || r.Response[i] != o.Response[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first divergence between two results, for test
+// diagnostics. It returns "" when the results are Equal.
+func (r *Result) Diff(o *Result) string {
+	if len(r.Release) != len(o.Release) {
+		return fmt.Sprintf("task counts differ: %d vs %d", len(r.Release), len(o.Release))
+	}
+	for i := range r.Release {
+		if r.Release[i] != o.Release[i] {
+			return fmt.Sprintf("%s: release %d (%s) vs %d (%s)",
+				model.TaskID(i), r.Release[i], r.Algorithm, o.Release[i], o.Algorithm)
+		}
+		if r.Response[i] != o.Response[i] {
+			return fmt.Sprintf("%s: response %d (%s) vs %d (%s)",
+				model.TaskID(i), r.Response[i], r.Algorithm, o.Response[i], o.Algorithm)
+		}
+	}
+	return ""
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s{tasks=%d makespan=%d iterations=%d}",
+		r.Algorithm, len(r.Release), r.Makespan, r.Iterations)
+}

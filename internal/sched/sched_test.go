@@ -1,0 +1,303 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// figure1 rebuilds the paper's Figure 1 graph locally (the gen package
+// depends on model only, but sched cannot import gen without a cycle in the
+// test topology we want to keep one-directional).
+func figure1(t testing.TB) *model.Graph {
+	t.Helper()
+	b := model.NewBuilder(4, 1)
+	b.SetBankPolicy(model.SharedBank)
+	n0 := b.AddTask(model.TaskSpec{Name: "n0", WCET: 2, Core: 0})
+	n1 := b.AddTask(model.TaskSpec{Name: "n1", WCET: 2, Core: 1, MinRelease: 2})
+	n2 := b.AddTask(model.TaskSpec{Name: "n2", WCET: 1, Core: 1, MinRelease: 4})
+	n3 := b.AddTask(model.TaskSpec{Name: "n3", WCET: 3, Core: 2})
+	n4 := b.AddTask(model.TaskSpec{Name: "n4", WCET: 2, Core: 3, MinRelease: 4})
+	b.AddEdge(n0, n1, 1)
+	b.AddEdge(n0, n2, 1)
+	b.AddEdge(n0, n4, 1)
+	b.AddEdge(n1, n2, 1)
+	b.AddEdge(n3, n4, 1)
+	return b.MustBuild()
+}
+
+// figure1Result builds the known-correct schedule of Figure 1 by hand.
+func figure1Result() *Result {
+	r := NewResult("hand", 5, 1)
+	copy(r.Release, []model.Cycles{0, 3, 6, 0, 5})
+	copy(r.Interference, []model.Cycles{1, 1, 0, 2, 0})
+	wcets := []model.Cycles{2, 2, 1, 3, 2}
+	for i := range wcets {
+		r.Response[i] = wcets[i] + r.Interference[i]
+		r.PerBank[i][0] = r.Interference[i]
+	}
+	r.RecomputeMakespan()
+	return r
+}
+
+func TestCheckAcceptsCorrectSchedule(t *testing.T) {
+	g := figure1(t)
+	if err := Check(g, Options{}, figure1Result()); err != nil {
+		t.Fatalf("Check rejected the paper's schedule: %v", err)
+	}
+}
+
+func TestCheckRejectsCorruptions(t *testing.T) {
+	g := figure1(t)
+	corrupt := []struct {
+		name string
+		mut  func(*Result)
+		want string
+	}{
+		{"wrong response", func(r *Result) { r.Response[0] = 99 }, "response"},
+		{"negative interference", func(r *Result) { r.Interference[0] = -1; r.Response[0] = 1 }, "negative"},
+		{"per-bank mismatch", func(r *Result) { r.PerBank[0][0] = 5 }, "per-bank"},
+		{"before min release", func(r *Result) { r.Release[2] = 3; r.PerBank[2][0] = 0 }, "minimal release"},
+		{"before dependency", func(r *Result) {
+			r.Release[4] = 4 // n3 finishes at 5
+		}, "dependency"},
+		{"too late release", func(r *Result) {
+			r.Release[2] = 7
+			r.Makespan = 8
+		}, "earliest-release"},
+		{"interference inconsistent", func(r *Result) {
+			r.Interference[2] = 5
+			r.Response[2] = 6
+			r.PerBank[2][0] = 5
+			r.Makespan = 12
+		}, "recomputation"},
+		{"wrong makespan", func(r *Result) { r.Makespan = 100 }, "makespan"},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			r := figure1Result()
+			tc.mut(r)
+			err := Check(g, Options{}, r)
+			if err == nil {
+				t.Fatalf("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckShapeMismatch(t *testing.T) {
+	g := figure1(t)
+	r := NewResult("x", 3, 1)
+	if err := Check(g, Options{}, r); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("err = %v, want shape mismatch", err)
+	}
+}
+
+func TestCheckDeadlineViolationReported(t *testing.T) {
+	g := figure1(t)
+	r := figure1Result()
+	if err := Check(g, Options{Deadline: 6}, r); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline violation", err)
+	}
+}
+
+func TestWindowInterferencePaperExample(t *testing.T) {
+	// Three tasks, one bank, fully overlapping windows, 8 accesses each:
+	// the Section II.A example (16 cycles each).
+	b := model.NewBuilder(3, 1)
+	for i := 0; i < 3; i++ {
+		b.AddTask(model.TaskSpec{WCET: 10, Core: model.CoreID(i), Local: 8})
+	}
+	g := b.MustBuild()
+	rel := []model.Cycles{0, 0, 0}
+	fin := []model.Cycles{10, 10, 10}
+	perBank := make([]model.Cycles, 1)
+	for dst := 0; dst < 3; dst++ {
+		got := WindowInterference(g, arbiter.NewRoundRobin(1), false, rel, fin, model.TaskID(dst), perBank)
+		if got != 16 {
+			t.Errorf("dst %d: interference = %d, want 16", dst, got)
+		}
+		if perBank[0] != 16 {
+			t.Errorf("dst %d: perBank = %v", dst, perBank)
+		}
+	}
+}
+
+func TestWindowInterferenceHalfOpenWindows(t *testing.T) {
+	// Task B starts exactly when A finishes: no overlap, no interference.
+	b := model.NewBuilder(2, 1)
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 0, Local: 8})
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 1, Local: 8})
+	g := b.MustBuild()
+	rel := []model.Cycles{0, 10}
+	fin := []model.Cycles{10, 20}
+	if got := WindowInterference(g, arbiter.NewRoundRobin(1), false, rel, fin, 0, nil); got != 0 {
+		t.Errorf("touching windows: interference = %d, want 0", got)
+	}
+	// One cycle of overlap is enough to count the full demand bound.
+	rel[1] = 9
+	if got := WindowInterference(g, arbiter.NewRoundRobin(1), false, rel, fin, 0, nil); got != 8 {
+		t.Errorf("overlapping windows: interference = %d, want 8", got)
+	}
+}
+
+func TestWindowInterferenceMergingVsSeparate(t *testing.T) {
+	// Two tasks of the same core interfering with dst: merged they count
+	// min(w1+w2, d); separate they count min(w1,d)+min(w2,d).
+	b := model.NewBuilder(2, 1)
+	b.AddTask(model.TaskSpec{WCET: 100, Core: 0, Local: 10}) // dst
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 1, Local: 8})
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 1, Local: 8})
+	g := b.MustBuild()
+	rel := []model.Cycles{0, 0, 10}
+	fin := []model.Cycles{100, 10, 20}
+	merged := WindowInterference(g, arbiter.NewRoundRobin(1), false, rel, fin, 0, nil)
+	separate := WindowInterference(g, arbiter.NewRoundRobin(1), true, rel, fin, 0, nil)
+	if merged != 10 { // min(8+8, 10)
+		t.Errorf("merged = %d, want 10", merged)
+	}
+	if separate != 16 { // min(8,10) + min(8,10)
+		t.Errorf("separate = %d, want 16", separate)
+	}
+}
+
+func TestWindowInterferenceZeroDemandDst(t *testing.T) {
+	b := model.NewBuilder(2, 1)
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 0}) // no demand
+	b.AddTask(model.TaskSpec{WCET: 10, Core: 1, Local: 50})
+	g := b.MustBuild()
+	rel := []model.Cycles{0, 0}
+	fin := []model.Cycles{10, 10}
+	if got := WindowInterference(g, arbiter.NewRoundRobin(1), false, rel, fin, 0, nil); got != 0 {
+		t.Errorf("zero-demand destination: %d, want 0", got)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := figure1Result()
+	if f := r.Finish(3); f != 5 {
+		t.Errorf("Finish(n3) = %d, want 5", f)
+	}
+	if from, to := r.Window(1); from != 3 || to != 6 {
+		t.Errorf("Window(n1) = [%d, %d), want [3, 6)", from, to)
+	}
+	if !r.Overlaps(0, 3) {
+		t.Error("n0 and n3 must overlap")
+	}
+	if r.Overlaps(0, 2) {
+		t.Error("n0 [0,3) and n2 [6,7) must not overlap")
+	}
+	if ti := r.TotalInterference(); ti != 4 {
+		t.Errorf("TotalInterference = %d, want 4", ti)
+	}
+	if r.Makespan != 7 {
+		t.Errorf("Makespan = %d, want 7", r.Makespan)
+	}
+	if s := r.String(); !strings.Contains(s, "makespan=7") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestResultEqualAndDiff(t *testing.T) {
+	a, b := figure1Result(), figure1Result()
+	if !a.Equal(b) || a.Diff(b) != "" {
+		t.Fatal("identical results reported different")
+	}
+	b.Release[2] = 5
+	if a.Equal(b) {
+		t.Fatal("different releases reported equal")
+	}
+	if d := a.Diff(b); !strings.Contains(d, "release") {
+		t.Errorf("Diff = %q", d)
+	}
+	c := NewResult("x", 3, 1)
+	if a.Equal(c) {
+		t.Fatal("different sizes reported equal")
+	}
+	if d := a.Diff(c); !strings.Contains(d, "task counts") {
+		t.Errorf("Diff = %q", d)
+	}
+	b = figure1Result()
+	b.Response[4] = 9
+	if d := a.Diff(b); !strings.Contains(d, "response") {
+		t.Errorf("Diff = %q", d)
+	}
+}
+
+func TestUnschedulableErrors(t *testing.T) {
+	err := DeadlineExceeded(42)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatal("DeadlineExceeded does not wrap ErrUnschedulable")
+	}
+	if !strings.Contains(err.Error(), "deadline") || !strings.Contains(err.Error(), "42") {
+		t.Errorf("Error = %q", err.Error())
+	}
+	err = Deadlock(7, 3)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatal("Deadlock does not wrap ErrUnschedulable")
+	}
+	if !strings.Contains(err.Error(), "τ3") {
+		t.Errorf("Error = %q", err.Error())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.EffectiveArbiter() == nil || o.EffectiveArbiter().Name() != "round-robin(L=1)" {
+		t.Errorf("default arbiter = %v", o.EffectiveArbiter())
+	}
+	if o.EffectiveDeadline() != model.Infinity {
+		t.Errorf("default deadline = %d", o.EffectiveDeadline())
+	}
+	o.Deadline = 5
+	if o.EffectiveDeadline() != 5 {
+		t.Errorf("deadline = %d", o.EffectiveDeadline())
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := map[string]Event{
+		"cursor":       {Kind: EventCursor, Time: 3, Task: model.NoTask},
+		"open":         {Kind: EventOpen, Time: 3, Task: 1},
+		"close":        {Kind: EventClose, Time: 3, Task: 1},
+		"interference": {Kind: EventInterference, Time: 3, Task: 1, Value: 9},
+	}
+	for want, e := range cases {
+		if s := e.String(); !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, want substring %q", s, want)
+		}
+	}
+	if s := EventKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := figure1(t)
+	out := Gantt(g, figure1Result(), 60)
+	for _, want := range []string{"PE0", "PE3", "n0 I:1", "n3 I:2", "makespan = 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate widths must not panic and still render rows.
+	for _, w := range []int{0, 1, 19, 500} {
+		if out := Gantt(g, figure1Result(), w); !strings.Contains(out, "PE0") {
+			t.Errorf("width %d: missing PE0", w)
+		}
+	}
+}
+
+func TestGanttEmptySchedule(t *testing.T) {
+	g := model.NewBuilder(2, 1).MustBuild()
+	r := NewResult("x", 0, 1)
+	if out := Gantt(g, r, 40); !strings.Contains(out, "makespan = 0") {
+		t.Errorf("empty Gantt = %q", out)
+	}
+}

@@ -1,0 +1,162 @@
+// Package sens performs sensitivity analysis on interference-aware
+// schedules: how much can execution times or memory demands grow before a
+// deadline breaks, and which tasks are critical? Each probe is a full
+// reanalysis, so the whole package is only practical on top of the paper's
+// O(n²) algorithm — with the O(n⁴) baseline a single sensitivity sweep of a
+// 384-task graph would cost hours instead of milliseconds.
+//
+// Scales are expressed in permille (integer thousandths) to keep the
+// analysis exact and deterministic: a scale of 1250 means every WCET (or
+// demand) is multiplied by 1.25, rounding up.
+package sens
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+// scaleCap bounds the search: growth beyond 64× means the deadline is
+// effectively unconstraining.
+const scaleCap = 64_000
+
+// feasible reports whether the graph, transformed by apply(permille),
+// meets the deadline.
+func feasible(g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64), p int64) bool {
+	c := g.Clone()
+	apply(c, p)
+	probe := opts
+	probe.Deadline = deadline
+	_, err := incremental.Schedule(c, probe)
+	return err == nil
+}
+
+// maxScale binary-searches the largest feasible permille for a monotone
+// transformation. It returns 0 if even scale 0 is infeasible and scaleCap
+// if the cap never becomes infeasible.
+func maxScale(g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64)) (int64, error) {
+	if deadline <= 0 {
+		return 0, fmt.Errorf("sens: sensitivity needs a positive deadline")
+	}
+	if !feasible(g, opts, deadline, apply, 1000) {
+		// Below nominal: search [0, 1000).
+		if !feasible(g, opts, deadline, apply, 0) {
+			return 0, fmt.Errorf("sens: infeasible even at scale 0")
+		}
+		lo, hi := int64(0), int64(1000) // lo feasible, hi infeasible
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if feasible(g, opts, deadline, apply, mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo, nil
+	}
+	// At or above nominal: double until infeasible, then bisect.
+	lo, hi := int64(1000), int64(2000)
+	for hi <= scaleCap && feasible(g, opts, deadline, apply, hi) {
+		lo, hi = hi, hi*2
+	}
+	if hi > scaleCap {
+		return scaleCap, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if feasible(g, opts, deadline, apply, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// scaleWCETs multiplies every WCET by p/1000, rounding up.
+func scaleWCETs(g *model.Graph, p int64) {
+	for _, t := range g.Tasks() {
+		t.WCET = model.Cycles((int64(t.WCET)*p + 999) / 1000)
+	}
+}
+
+// scaleDemands multiplies every per-bank demand by p/1000, rounding up.
+func scaleDemands(g *model.Graph, p int64) {
+	for _, t := range g.Tasks() {
+		for b := range t.Demand {
+			if t.Demand[b] > 0 {
+				t.Demand[b] = model.Accesses((int64(t.Demand[b])*p + 999) / 1000)
+			}
+		}
+	}
+}
+
+// MaxWCETScale returns the largest permille factor by which all WCETs can
+// be scaled while the schedule still meets the deadline (1000 = nominal).
+func MaxWCETScale(g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
+	return maxScale(g, opts, deadline, scaleWCETs)
+}
+
+// MaxDemandScale returns the largest permille factor by which all memory
+// demands can be scaled while meeting the deadline. Demands only influence
+// interference, so this measures the system's robustness against
+// underestimated access counts.
+func MaxDemandScale(g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
+	return maxScale(g, opts, deadline, scaleDemands)
+}
+
+// TaskSlack is the per-task criticality metric: the extra WCET (in cycles)
+// task id can absorb, alone, before the deadline breaks.
+type TaskSlack struct {
+	Task  model.TaskID
+	Slack model.Cycles
+}
+
+// Criticality computes every task's individual WCET slack under the
+// deadline and returns the list ordered by task ID. Tasks with zero slack
+// are the critical ones: any overrun breaks the schedule.
+func Criticality(g *model.Graph, opts sched.Options, deadline model.Cycles) ([]TaskSlack, error) {
+	if deadline <= 0 {
+		return nil, fmt.Errorf("sens: sensitivity needs a positive deadline")
+	}
+	probe := opts
+	probe.Deadline = deadline
+	if _, err := incremental.Schedule(g, probe); err != nil {
+		return nil, fmt.Errorf("sens: nominal system infeasible: %w", err)
+	}
+	out := make([]TaskSlack, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		grow := func(c *model.Graph, extra int64) {
+			c.Task(id).WCET += model.Cycles(extra)
+		}
+		ok := func(extra int64) bool {
+			c := g.Clone()
+			grow(c, extra)
+			_, err := incremental.Schedule(c, probe)
+			return err == nil
+		}
+		// Doubling then bisection over absolute extra cycles.
+		lo, hi := int64(0), int64(1)
+		capExtra := int64(deadline) + 1
+		for hi <= capExtra && ok(hi) {
+			lo, hi = hi, hi*2
+		}
+		if hi > capExtra {
+			lo = capExtra
+		} else {
+			for lo+1 < hi {
+				mid := (lo + hi) / 2
+				if ok(mid) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+		}
+		out[i] = TaskSlack{Task: id, Slack: model.Cycles(lo)}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+// Package wcet derives per-task WCETs in isolation and shared-memory access
+// counts from a structured control-flow description — the role the paper's
+// framework (Section I) delegates to a static WCET tool "such as OTAWA".
+// The real toolchain analyzes compiled binaries; this substrate implements
+// the same contract on an explicit program model, which is exactly what the
+// downstream interference analysis consumes (a WCET bound and a demand
+// vector per task).
+//
+// A task body is a tree of regions:
+//
+//   - Block: a basic block with a cycle cost and per-kind memory access
+//     counts (the leaf);
+//   - Seq: sequential composition;
+//   - Alt: a conditional — the analysis takes the most expensive branch
+//     (in cycles; access counts follow the chosen branch, plus an optional
+//     conservative envelope mode taking the per-metric maximum);
+//   - Loop: a body iterated at most Bound times (loop bounds are mandatory,
+//     as in any WCET analysis).
+//
+// The analysis computes, by structural recursion (the tree-based equivalent
+// of IPET longest-path on reducible CFGs): worst-case cycles, local
+// accesses, and per-successor write volumes are left to the task graph
+// (they are communication, not intra-task behaviour).
+package wcet
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Region is a node of the structured control-flow tree.
+type Region interface {
+	// analyze returns the worst-case cost of the region under the mode.
+	analyze(conservative bool) (Cost, error)
+}
+
+// Cost is the result of analyzing a region: execution cycles in isolation
+// (memory accesses already included at their isolated service time) and the
+// number of shared-memory accesses performed.
+type Cost struct {
+	Cycles   model.Cycles
+	Accesses model.Accesses
+}
+
+// add accumulates sequential composition.
+func (c Cost) add(o Cost) Cost {
+	return Cost{Cycles: c.Cycles + o.Cycles, Accesses: c.Accesses + o.Accesses}
+}
+
+// times scales by a loop bound.
+func (c Cost) times(n int64) Cost {
+	return Cost{Cycles: c.Cycles * model.Cycles(n), Accesses: c.Accesses * model.Accesses(n)}
+}
+
+// Block is a basic block: Compute cycles of pure computation plus Loads +
+// Stores shared-memory accesses, each costing AccessCycles (the platform's
+// isolated bank service time) on top of the computation.
+type Block struct {
+	Name         string
+	Compute      model.Cycles
+	Loads        model.Accesses
+	Stores       model.Accesses
+	AccessCycles model.Cycles // 0 means 1 cycle per access
+}
+
+func (b Block) analyze(bool) (Cost, error) {
+	if b.Compute < 0 || b.Loads < 0 || b.Stores < 0 || b.AccessCycles < 0 {
+		return Cost{}, fmt.Errorf("wcet: block %q has negative cost", b.Name)
+	}
+	per := b.AccessCycles
+	if per == 0 {
+		per = 1
+	}
+	acc := b.Loads + b.Stores
+	return Cost{
+		Cycles:   b.Compute + model.Cycles(acc)*per,
+		Accesses: acc,
+	}, nil
+}
+
+// Seq is sequential composition of regions.
+type Seq []Region
+
+func (s Seq) analyze(conservative bool) (Cost, error) {
+	var total Cost
+	for i, r := range s {
+		if r == nil {
+			return Cost{}, fmt.Errorf("wcet: nil region at position %d", i)
+		}
+		c, err := r.analyze(conservative)
+		if err != nil {
+			return Cost{}, err
+		}
+		total = total.add(c)
+	}
+	return total, nil
+}
+
+// Alt is a conditional: exactly one branch executes. An empty Alt is an
+// error; a one-armed conditional is modeled as Alt{branch, Seq{}}.
+type Alt []Region
+
+func (a Alt) analyze(conservative bool) (Cost, error) {
+	if len(a) == 0 {
+		return Cost{}, fmt.Errorf("wcet: empty alternative")
+	}
+	var worst Cost
+	for i, r := range a {
+		if r == nil {
+			return Cost{}, fmt.Errorf("wcet: nil branch at position %d", i)
+		}
+		c, err := r.analyze(conservative)
+		if err != nil {
+			return Cost{}, err
+		}
+		if i == 0 {
+			worst = c
+			continue
+		}
+		if conservative {
+			// Envelope: worst cycles AND worst access count, even if no
+			// single branch realizes both. Always sound for the
+			// downstream analysis (interference grows with demand).
+			if c.Cycles > worst.Cycles {
+				worst.Cycles = c.Cycles
+			}
+			if c.Accesses > worst.Accesses {
+				worst.Accesses = c.Accesses
+			}
+		} else if c.Cycles > worst.Cycles ||
+			(c.Cycles == worst.Cycles && c.Accesses > worst.Accesses) {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// Loop iterates Body at most Bound times. Unbounded loops are rejected —
+// there is no WCET without loop bounds.
+type Loop struct {
+	Bound int64
+	Body  Region
+}
+
+func (l Loop) analyze(conservative bool) (Cost, error) {
+	if l.Bound < 0 {
+		return Cost{}, fmt.Errorf("wcet: negative loop bound %d", l.Bound)
+	}
+	if l.Body == nil {
+		return Cost{}, fmt.Errorf("wcet: loop without body")
+	}
+	c, err := l.Body.analyze(conservative)
+	if err != nil {
+		return Cost{}, err
+	}
+	return c.times(l.Bound), nil
+}
+
+// Analyze computes the worst-case cost of a task body. In conservative
+// mode, conditionals contribute a per-metric envelope (max cycles and max
+// accesses independently); otherwise the single most expensive branch is
+// selected (cycles first, accesses as tie-break).
+func Analyze(body Region, conservative bool) (Cost, error) {
+	if body == nil {
+		return Cost{}, fmt.Errorf("wcet: nil body")
+	}
+	return body.analyze(conservative)
+}
+
+// TaskSpec runs the analysis and packages the result as a model.TaskSpec
+// ready for the task-graph builder (core assignment is the mapper's job and
+// defaults to 0 here).
+func TaskSpec(name string, body Region, conservative bool) (model.TaskSpec, error) {
+	c, err := Analyze(body, conservative)
+	if err != nil {
+		return model.TaskSpec{}, fmt.Errorf("wcet: task %q: %w", name, err)
+	}
+	return model.TaskSpec{
+		Name:  name,
+		WCET:  c.Cycles,
+		Local: c.Accesses,
+	}, nil
+}

@@ -1,0 +1,197 @@
+package wcet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+func TestBlock(t *testing.T) {
+	c, err := Analyze(Block{Compute: 10, Loads: 3, Stores: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 15 || c.Accesses != 5 {
+		t.Fatalf("cost = %+v, want 15 cycles / 5 accesses", c)
+	}
+}
+
+func TestBlockAccessLatency(t *testing.T) {
+	c, err := Analyze(Block{Compute: 10, Loads: 4, AccessCycles: 3}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 22 {
+		t.Fatalf("cycles = %d, want 22", c.Cycles)
+	}
+}
+
+func TestSeq(t *testing.T) {
+	body := Seq{
+		Block{Compute: 5, Loads: 1},
+		Block{Compute: 7, Stores: 2},
+	}
+	c, err := Analyze(body, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 15 || c.Accesses != 3 {
+		t.Fatalf("cost = %+v", c)
+	}
+}
+
+func TestAltPicksWorstBranch(t *testing.T) {
+	body := Alt{
+		Block{Compute: 100, Loads: 1},
+		Block{Compute: 10, Loads: 50},
+	}
+	c, err := Analyze(body, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch 1: 101 cycles, 1 access. Branch 2: 60 cycles, 50 accesses.
+	if c.Cycles != 101 || c.Accesses != 1 {
+		t.Fatalf("cost = %+v, want the 101-cycle branch", c)
+	}
+}
+
+func TestAltConservativeEnvelope(t *testing.T) {
+	body := Alt{
+		Block{Compute: 100, Loads: 1},
+		Block{Compute: 10, Loads: 50},
+	}
+	c, err := Analyze(body, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope: max cycles (101) and max accesses (50) independently.
+	if c.Cycles != 101 || c.Accesses != 50 {
+		t.Fatalf("cost = %+v, want envelope 101/50", c)
+	}
+}
+
+func TestAltTieBreakOnAccesses(t *testing.T) {
+	body := Alt{
+		Block{Compute: 10, Loads: 0},
+		Block{Compute: 8, Loads: 2}, // same 10 cycles, more accesses
+	}
+	c, err := Analyze(body, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses != 2 {
+		t.Fatalf("cost = %+v, want the higher-demand branch on a cycle tie", c)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	body := Loop{Bound: 16, Body: Block{Compute: 3, Loads: 1}}
+	c, err := Analyze(body, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 64 || c.Accesses != 16 {
+		t.Fatalf("cost = %+v, want 64/16", c)
+	}
+}
+
+func TestNestedProgram(t *testing.T) {
+	// for i in 0..8 { load; if cond { heavy } else { light }; store }
+	body := Loop{Bound: 8, Body: Seq{
+		Block{Loads: 1},
+		Alt{
+			Block{Compute: 20, Loads: 2},
+			Block{Compute: 5},
+		},
+		Block{Stores: 1},
+	}}
+	c, err := Analyze(body, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: 1 + (20+2) + 1 = 24 cycles, 4 accesses.
+	if c.Cycles != 8*24 || c.Accesses != 8*4 {
+		t.Fatalf("cost = %+v, want %d/%d", c, 8*24, 8*4)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body Region
+	}{
+		{"nil body", nil},
+		{"negative block", Block{Compute: -1}},
+		{"negative loads", Block{Loads: -1}},
+		{"empty alt", Alt{}},
+		{"nil branch", Alt{nil}},
+		{"nil seq entry", Seq{nil}},
+		{"negative bound", Loop{Bound: -1, Body: Block{}}},
+		{"loop no body", Loop{Bound: 3}},
+		{"nested error", Seq{Block{}, Loop{Bound: 2, Body: Alt{}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Analyze(tc.body, false); err == nil {
+				t.Fatal("invalid body accepted")
+			}
+		})
+	}
+}
+
+func TestTaskSpec(t *testing.T) {
+	spec, err := TaskSpec("filter", Loop{Bound: 4, Body: Block{Compute: 10, Loads: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "filter" || spec.WCET != 48 || spec.Local != 8 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := TaskSpec("bad", Alt{}, false); err == nil || !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConservativeDominatesProperty(t *testing.T) {
+	// Property: the conservative envelope never reports fewer cycles or
+	// accesses than the branch-selection mode, on arbitrary random trees.
+	var build func(seed int64, depth int) Region
+	build = func(seed int64, depth int) Region {
+		s := seed
+		next := func() int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := s >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		if depth == 0 {
+			return Block{Compute: model.Cycles(next() % 50), Loads: model.Accesses(next() % 20), Stores: model.Accesses(next() % 10)}
+		}
+		switch next() % 4 {
+		case 0:
+			return Seq{build(next(), depth-1), build(next(), depth-1)}
+		case 1:
+			return Alt{build(next(), depth-1), build(next(), depth-1)}
+		case 2:
+			return Loop{Bound: next()%5 + 1, Body: build(next(), depth-1)}
+		default:
+			return Block{Compute: model.Cycles(next() % 50), Loads: model.Accesses(next() % 20)}
+		}
+	}
+	check := func(seed int64) bool {
+		body := build(seed, 4)
+		precise, err1 := Analyze(body, false)
+		envelope, err2 := Analyze(body, true)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return envelope.Cycles >= precise.Cycles && envelope.Accesses >= precise.Accesses
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
