@@ -1,0 +1,34 @@
+# Developer entry points. `make ci` is exactly what the GitHub Actions
+# workflow runs; keep the two in sync.
+
+GO      ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all vet build test race fuzz-smoke ci clean
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One bounded fuzzing pass per target. Short by design: this is a smoke
+# check that the harnesses still run and the seed corpora still pass, not a
+# bug hunt. Override with e.g. `make fuzz-smoke FUZZTIME=5m` to dig.
+fuzz-smoke:
+	$(GO) test ./internal/model -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stg -run '^$$' -fuzz FuzzReadSTG -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sched/incremental -run '^$$' -fuzz FuzzScheduleInvariants -fuzztime $(FUZZTIME)
+
+ci: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

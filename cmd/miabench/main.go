@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/bench"
 	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/sched"
 	"github.com/mia-rt/mia/internal/sched/fixpoint"
 	"github.com/mia-rt/mia/internal/sched/incremental"
@@ -54,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		panels    = fs.String("panels", "", `comma-separated panel list (e.g. "LS4,NL64"); empty = all six`)
 		full      = fs.Bool("full", false, "larger size sweeps (the quick default finishes in minutes)")
 		timeout   = fs.Duration("timeout", 60*time.Second, "per-run timeout for either algorithm")
+		jobs      = fs.Int("jobs", 1, "measure this many sweep points concurrently (0 = one per CPU); outputs are identical at every level, only wall-clock fidelity differs")
 		seed      = fs.Int64("seed", 1, "generation seed")
 		cores     = fs.Int("cores", 16, "platform cores")
 		banks     = fs.Int("banks", 16, "platform banks")
@@ -78,7 +81,7 @@ func run(args []string, stdout io.Writer) error {
 		progress = nil
 	}
 	base := bench.Config{Seed: *seed, Cores: *cores, Banks: *banks, SharedBank: *shared,
-		Timeout: *timeout, Arbiter: arbiter.NewRoundRobin(1)}
+		Timeout: *timeout, Arbiter: arbiter.NewRoundRobin(1), Jobs: pool.Jobs(*jobs)}
 
 	switch {
 	case *headline:
@@ -246,39 +249,53 @@ func runScale(w io.Writer, base bench.Config, full bool, progress func(string)) 
 
 // runAgreement quantifies how often the two analyses produce identical
 // schedules (see DESIGN.md: the analysis equations admit several consistent
-// fixed points).
+// fixed points). Instances are independent, so they are compared on the
+// worker pool; the tallies are reduced in submission order and the reported
+// statistics do not depend on the jobs level.
 func runAgreement(w io.Writer, base bench.Config) error {
 	configs := []struct{ layers, size int }{{4, 8}, {8, 4}, {6, 16}, {16, 4}}
-	instances, identical := 0, 0
-	var tasks, agree int
-	for _, c := range configs {
-		for seed := int64(1); seed <= 25; seed++ {
+	const seeds = 25
+	type tally struct{ identical, tasks, agree int }
+	tallies, err := pool.Map(context.Background(), base.Jobs, len(configs)*seeds,
+		func(_ context.Context, i int) (tally, error) {
+			c := configs[i/seeds]
 			p := gen.NewParams(c.layers, c.size)
-			p.Seed, p.Cores, p.Banks, p.SharedBank = seed, base.Cores, base.Banks, base.SharedBank
+			p.Seed = int64(i%seeds) + 1
+			p.Cores, p.Banks, p.SharedBank = base.Cores, base.Banks, base.SharedBank
 			g, err := gen.Layered(p)
 			if err != nil {
-				return err
+				return tally{}, err
 			}
 			opts := sched.Options{Arbiter: base.Arbiter}
 			fast, err := incremental.Schedule(g, opts)
 			if err != nil {
-				return err
+				return tally{}, err
 			}
 			slow, err := fixpoint.Schedule(g, opts)
 			if err != nil {
-				return err
+				return tally{}, err
 			}
-			instances++
+			var t tally
 			if fast.Equal(slow) {
-				identical++
+				t.identical = 1
 			}
 			for i := range fast.Release {
-				tasks++
+				t.tasks++
 				if fast.Release[i] == slow.Release[i] && fast.Response[i] == slow.Response[i] {
-					agree++
+					t.agree++
 				}
 			}
-		}
+			return t, nil
+		})
+	if err != nil {
+		return err
+	}
+	instances, identical := len(tallies), 0
+	var tasks, agree int
+	for _, t := range tallies {
+		identical += t.identical
+		tasks += t.tasks
+		agree += t.agree
 	}
 	fmt.Fprintln(w, "# Fixpoint vs incremental agreement (both are consistent fixed points; see DESIGN.md)")
 	fmt.Fprintf(w, "identical schedules: %d/%d instances (%.0f%%)\n", identical, instances, 100*float64(identical)/float64(instances))

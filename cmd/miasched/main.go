@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		deadline  = fs.Int64("deadline", 0, "global deadline in cycles (0 = none)")
 		crit      = fs.Bool("criticality", false, "print per-task WCET slack under the deadline (needs -deadline)")
 		separate  = fs.Bool("separate", false, "disable same-core competitor merging (paper §II.C ablation)")
+		oracle    = fs.Bool("oracle", false, "disable the cached-IBUS fast path; run the uncached reference analysis (differential-testing oracle)")
 		gantt     = fs.Int("gantt", 0, "print an ASCII Gantt chart this many columns wide")
 		svg       = fs.String("svg", "", "write a Figure 1-style SVG Gantt chart to this file")
 		chrome    = fs.String("chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
@@ -102,6 +103,7 @@ func run(args []string, stdout io.Writer) error {
 		Arbiter:             arb,
 		Deadline:            model.Cycles(*deadline),
 		SeparateCompetitors: *separate,
+		DisableFastPath:     *oracle,
 	}
 	var rec trace.Recorder
 	if *events || *partition >= 0 {

@@ -52,6 +52,31 @@ type Arbiter interface {
 	Additive() bool
 }
 
+// SingleTerm is an optional extension for additive policies: a direct
+// evaluation of the per-competitor term Bound(dst, {comp}, b) without
+// building a one-element slice. The incremental scheduler's cached-IBUS fast
+// path calls it once per interferer update, so avoiding the slice round trip
+// (and the escape of the scratch buffer through the interface) measurably
+// trims the per-event constant.
+//
+// Implementations must satisfy BoundOne(dst, comp, b) ==
+// Bound(dst, []Request{comp}, b) exactly; the arbiter test suite
+// cross-checks the two on random requests.
+type SingleTerm interface {
+	BoundOne(dst, comp Request, b model.BankID) model.Cycles
+}
+
+// One evaluates the single-competitor bound Bound(dst, {comp}, b), through
+// the policy's direct BoundOne when implemented and through the general
+// Bound with the caller's scratch buffer (len ≥ 1) otherwise.
+func One(a Arbiter, dst, comp Request, b model.BankID, scratch []Request) model.Cycles {
+	if st, ok := a.(SingleTerm); ok {
+		return st.BoundOne(dst, comp, b)
+	}
+	scratch[0] = comp
+	return a.Bound(dst, scratch[:1], b)
+}
+
 // Validate sanity-checks a request set before handing it to a policy.
 // Policies themselves assume well-formed inputs.
 func Validate(dst Request, competitors []Request) error {

@@ -20,3 +20,6 @@ func (None) Bound(Request, []Request, model.BankID) model.Cycles { return 0 }
 
 // Additive implements Arbiter: zero is trivially additive.
 func (None) Additive() bool { return true }
+
+// BoundOne implements SingleTerm: always zero.
+func (None) BoundOne(Request, Request, model.BankID) model.Cycles { return 0 }

@@ -56,3 +56,11 @@ func (r *RoundRobin) Bound(dst Request, competitors []Request, _ model.BankID) m
 // Additive implements Arbiter: the round-robin bound is a sum over
 // competitors.
 func (r *RoundRobin) Additive() bool { return true }
+
+// BoundOne implements SingleTerm: the per-competitor term min(w, d)·L.
+func (r *RoundRobin) BoundOne(dst, comp Request, _ model.BankID) model.Cycles {
+	if dst.Demand <= 0 {
+		return 0
+	}
+	return model.Cycles(minAcc(comp.Demand, dst.Demand)) * r.WordLatency
+}

@@ -1,0 +1,48 @@
+package arbiter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// TestBoundOneMatchesBound cross-checks every SingleTerm implementation
+// against the general Bound on a one-element competitor set — the exactness
+// contract the incremental scheduler's cached fast path depends on.
+func TestBoundOneMatchesBound(t *testing.T) {
+	weights := func(c model.CoreID) int64 { return int64(c)%3 + 1 }
+	arbiters := []Arbiter{
+		NewRoundRobin(1),
+		NewRoundRobin(3),
+		NewWeightedRR(2, nil),
+		NewWeightedRR(1, weights),
+		NewNone(),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, a := range arbiters {
+		st, ok := a.(SingleTerm)
+		if !ok {
+			t.Fatalf("%s: additive arbiter without SingleTerm", a.Name())
+		}
+		for trial := 0; trial < 500; trial++ {
+			dst := Request{Core: model.CoreID(rng.Intn(16)), Demand: model.Accesses(rng.Intn(400))}
+			comp := Request{Core: model.CoreID(rng.Intn(16)), Demand: model.Accesses(rng.Intn(400))}
+			b := model.BankID(rng.Intn(4))
+			want := a.Bound(dst, []Request{comp}, b)
+			if got := st.BoundOne(dst, comp, b); got != want {
+				t.Fatalf("%s: BoundOne(%+v, %+v, %d) = %d, Bound = %d", a.Name(), dst, comp, b, got, want)
+			}
+			if got := One(a, dst, comp, b, make([]Request, 1)); got != want {
+				t.Fatalf("%s: One = %d, Bound = %d", a.Name(), got, want)
+			}
+		}
+	}
+	// The helper must also serve non-SingleTerm policies through scratch.
+	tdm := NewTDM(4, 2)
+	dst := Request{Core: 0, Demand: 10}
+	comp := Request{Core: 1, Demand: 5}
+	if got, want := One(tdm, dst, comp, 0, make([]Request, 1)), tdm.Bound(dst, []Request{comp}, 0); got != want {
+		t.Fatalf("TDM One = %d, Bound = %d", got, want)
+	}
+}

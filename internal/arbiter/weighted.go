@@ -68,3 +68,14 @@ func (w *WeightedRR) Bound(dst Request, competitors []Request, _ model.BankID) m
 
 // Additive implements Arbiter: the bound is a per-competitor sum.
 func (w *WeightedRR) Additive() bool { return true }
+
+// BoundOne implements SingleTerm: one competitor's round-capped term.
+func (w *WeightedRR) BoundOne(dst, comp Request, _ model.BankID) model.Cycles {
+	if dst.Demand <= 0 {
+		return 0
+	}
+	qDst := w.quantum(dst.Core)
+	rounds := (int64(dst.Demand) + qDst - 1) / qDst
+	cap := model.Accesses(rounds * w.quantum(comp.Core))
+	return model.Cycles(minAcc(comp.Demand, cap)) * w.WordLatency
+}

@@ -7,14 +7,19 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/regress"
 	"github.com/mia-rt/mia/internal/sched"
 	"github.com/mia-rt/mia/internal/sched/fixpoint"
@@ -67,6 +72,30 @@ type Config struct {
 	// Arbiter is the bus policy (default flat round-robin, latency 1 —
 	// "the Kalray MPPA-256 RR").
 	Arbiter arbiter.Arbiter
+	// Jobs bounds the number of sweep points measured concurrently; values
+	// ≤ 1 select the sequential path. The analysis outputs (makespan,
+	// iterations, point statuses) are identical at every jobs level — only
+	// wall-clock measurements, which are physical observations, vary.
+	// Parallel measurement trades some timing fidelity (co-running points
+	// share memory bandwidth) for sweep throughput, which is the right
+	// trade for smoke sweeps and CI; use Jobs=1 when the seconds themselves
+	// are the artifact.
+	Jobs int
+
+	// stopwatch, when non-nil, replaces the wall-clock timer: it is called
+	// at the start of a run and returns the elapsed-seconds reader. The
+	// determinism tests inject a fake so CSV/report bytes can be compared
+	// across jobs levels.
+	stopwatch func() func() float64
+}
+
+// startTimer begins timing one run.
+func (c Config) startTimer() func() float64 {
+	if c.stopwatch != nil {
+		return c.stopwatch()
+	}
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
 }
 
 // Name renders the panel name in the paper's notation (LS64, NL4, ...).
@@ -128,14 +157,32 @@ type Panel struct {
 // RunPanel sweeps every algorithm over the panel's sizes. progress, when
 // non-nil, receives one line per measurement for interactive feedback.
 func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, error) {
+	return RunPanelContext(context.Background(), cfg, algos, progress)
+}
+
+// RunPanelContext is RunPanel with caller-controlled cancellation: canceling
+// ctx aborts in-flight scheduler runs (through their Options.Cancel hook)
+// and stops launching further points.
+//
+// When cfg.Jobs > 1 the (algorithm, size) points are measured concurrently
+// on a bounded worker pool. The sweep's deterministic outputs — statuses,
+// makespans, iteration counts, the skip-everything-after-a-timeout rule —
+// are identical at every jobs level: points are identified by submission
+// index, and the timeout-skip rule is applied as a deterministic post-pass
+// over the collected points in size order rather than as scheduling-order
+// side effects. Progress lines are emitted as measurements complete, so
+// their interleaving (but not their count) depends on scheduling.
+func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progress func(string)) (*Panel, error) {
 	repeats := cfg.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	panel := &Panel{Config: cfg}
+	var sayMu sync.Mutex
 	say := func(format string, args ...any) {
 		if progress != nil {
+			sayMu.Lock()
 			progress(fmt.Sprintf(format, args...))
+			sayMu.Unlock()
 		}
 	}
 
@@ -152,24 +199,55 @@ func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, err
 		graphs[size] = g
 	}
 
-	for _, algo := range algos {
+	// deadBelow[a] tracks the smallest size at which algorithm a has timed
+	// out so far, letting workers cheaply refuse points that the post-pass
+	// would discard anyway. It is an optimization only — correctness and
+	// determinism come from the post-pass below.
+	deadBelow := make([]atomic.Int64, len(algos))
+	for a := range deadBelow {
+		deadBelow[a].Store(math.MaxInt64)
+	}
+
+	nSizes := len(cfg.Sizes)
+	points, err := pool.Map(ctx, cfg.Jobs, len(algos)*nSizes, func(ctx context.Context, i int) (Point, error) {
+		algo, size := algos[i/nSizes], cfg.Sizes[i%nSizes]
+		if int64(size) > deadBelow[i/nSizes].Load() {
+			say("%s %s n=%d: skipped (timed out earlier)", cfg.Name(), algo.Name, size)
+			return Point{Tasks: size, Skipped: true}, nil
+		}
+		pt := measure(ctx, algo, graphs[size], cfg, repeats)
+		pt.Tasks = size
+		if pt.TimedOut {
+			for {
+				cur := deadBelow[i/nSizes].Load()
+				if int64(size) >= cur || deadBelow[i/nSizes].CompareAndSwap(cur, int64(size)) {
+					break
+				}
+			}
+			say("%s %s n=%d: TIMEOUT (> %v)", cfg.Name(), algo.Name, size, cfg.Timeout)
+		} else if pt.Skipped {
+			say("%s %s n=%d: skipped (canceled)", cfg.Name(), algo.Name, size)
+		} else {
+			say("%s %s n=%d: %.4fs", cfg.Name(), algo.Name, size, pt.Seconds)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	panel := &Panel{Config: cfg}
+	for a, algo := range algos {
 		series := Series{Algorithm: algo.Name}
-		dead := false // timed out at a smaller size: skip the rest
-		for _, size := range cfg.Sizes {
+		dead := false // timed out at a smaller size: discard the rest
+		for s, size := range cfg.Sizes {
+			pt := points[a*nSizes+s]
 			if dead {
-				series.Points = append(series.Points, Point{Tasks: size, Skipped: true})
-				say("%s %s n=%d: skipped (timed out earlier)", cfg.Name(), algo.Name, size)
-				continue
-			}
-			pt := measure(algo, graphs[size], cfg, repeats)
-			pt.Tasks = size
-			series.Points = append(series.Points, pt)
-			if pt.TimedOut {
+				pt = Point{Tasks: size, Skipped: true}
+			} else if pt.TimedOut {
 				dead = true
-				say("%s %s n=%d: TIMEOUT (> %v)", cfg.Name(), algo.Name, size, cfg.Timeout)
-			} else {
-				say("%s %s n=%d: %.4fs", cfg.Name(), algo.Name, size, pt.Seconds)
 			}
+			series.Points = append(series.Points, pt)
 		}
 		ns := make([]int, 0, len(series.Points))
 		ts := make([]float64, 0, len(series.Points))
@@ -188,12 +266,17 @@ func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, err
 }
 
 // measure times one algorithm on one graph, best of repeats, honoring the
-// timeout through the scheduler's cancellation hook.
-func measure(algo Algorithm, g *model.Graph, cfg Config, repeats int) Point {
+// timeout through the scheduler's cancellation hook. A parent-context
+// cancellation (as opposed to the point's own timeout) reports the point as
+// Skipped.
+func measure(ctx context.Context, algo Algorithm, g *model.Graph, cfg Config, repeats int) Point {
 	best := Point{Seconds: -1}
 	for r := 0; r < repeats; r++ {
-		pt, timedOut := runOnce(algo, g, cfg)
+		pt, timedOut := runOnce(ctx, algo, g, cfg)
 		if timedOut {
+			if ctx.Err() != nil {
+				return Point{Skipped: true}
+			}
 			return Point{TimedOut: true}
 		}
 		if best.Seconds < 0 || pt.Seconds < best.Seconds {
@@ -203,20 +286,26 @@ func measure(algo Algorithm, g *model.Graph, cfg Config, repeats int) Point {
 	return best
 }
 
-// runOnce performs a single timed run.
-func runOnce(algo Algorithm, g *model.Graph, cfg Config) (Point, bool) {
-	opts := sched.Options{Arbiter: cfg.Arbiter}
-	var timer *time.Timer
+// runOnce performs a single timed run. The per-point timeout is a context
+// deadline layered on the caller's context, so a timed-out run is canceled
+// synchronously inside the scheduler — it cannot leak work into the next
+// point's measurement — and an external cancellation tears the run down the
+// same way.
+func runOnce(ctx context.Context, algo Algorithm, g *model.Graph, cfg Config) (Point, bool) {
 	if cfg.Timeout > 0 {
-		cancel := make(chan struct{})
-		opts.Cancel = cancel
-		timer = time.AfterFunc(cfg.Timeout, func() { close(cancel) })
-		defer timer.Stop()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
 	}
-	start := time.Now()
+	opts := sched.Options{Arbiter: cfg.Arbiter, Cancel: ctx.Done()}
+	stop := cfg.startTimer()
 	res, err := algo.Run(g, opts)
-	elapsed := time.Since(start).Seconds()
-	if errors.Is(err, sched.ErrCanceled) {
+	elapsed := stop()
+	// A run is over budget when the scheduler observed the cancellation —
+	// or when the deadline expired but the busy analysis loop outran the
+	// timer goroutine (possible on starved single-CPU hosts): either way
+	// the point must not be reported as a valid measurement.
+	if errors.Is(err, sched.ErrCanceled) || ctx.Err() != nil {
 		return Point{}, true
 	}
 	if err != nil {

@@ -161,6 +161,82 @@ func TestLSAndNLFamiliesShapeGraphsDifferently(t *testing.T) {
 	}
 }
 
+// TestParallelSweepByteIdentical is the determinism contract behind the
+// -jobs flag: with wall-clock noise removed (injected constant stopwatch),
+// the rendered CSV and table bytes of a sweep must be identical at every
+// jobs level — same point statuses, same makespans, same fitted exponents.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	render := func(jobs int) (csv, table string, progress int) {
+		cfg := Config{
+			Family: "LS", Fixed: 4,
+			Sizes: []int{16, 32, 64, 128},
+			Cores: 4, Banks: 4,
+			Seed: 1,
+			Jobs: jobs,
+			// Constant fake elapsed time: the only nondeterministic input
+			// to the rendered bytes is the physical clock, so pin it.
+			stopwatch: func() func() float64 {
+				return func() float64 { return 0.25 }
+			},
+		}
+		panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()},
+			func(string) { progress++ })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var c, tb bytes.Buffer
+		if err := panel.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := panel.WriteTable(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return c.String(), tb.String(), progress
+	}
+	refCSV, refTable, refLines := render(1)
+	for _, jobs := range []int{4, 8} {
+		csv, table, lines := render(jobs)
+		if csv != refCSV {
+			t.Errorf("jobs=%d: CSV differs from sequential sweep:\n--- jobs=1 ---\n%s--- jobs=%d ---\n%s", jobs, refCSV, jobs, csv)
+		}
+		if table != refTable {
+			t.Errorf("jobs=%d: table differs from sequential sweep:\n--- jobs=1 ---\n%s--- jobs=%d ---\n%s", jobs, refTable, jobs, table)
+		}
+		if lines != refLines {
+			t.Errorf("jobs=%d: %d progress lines, want %d", jobs, lines, refLines)
+		}
+	}
+}
+
+// TestParallelTimeoutSkipDeterministic checks the skip-after-timeout rule
+// under concurrency: even when a larger size finishes before a smaller one
+// times out, the post-pass must mark everything above the first timeout as
+// skipped, exactly like the sequential sweep.
+func TestParallelTimeoutSkipDeterministic(t *testing.T) {
+	cfg := Config{
+		Family: "NL", Fixed: 4,
+		Sizes: []int{512, 1024, 2048},
+		Cores: 4, Banks: 1,
+		SharedBank: true,
+		Timeout:    10 * time.Millisecond,
+		Seed:       1,
+		Jobs:       4,
+	}
+	panel, err := RunPanel(cfg, []Algorithm{Fixpoint()}, nil)
+	if err != nil {
+		t.Fatalf("RunPanel: %v", err)
+	}
+	pts := panel.Series[0].Points
+	if !pts[0].TimedOut {
+		t.Fatalf("first point did not time out: %+v", pts[0])
+	}
+	for _, pt := range pts[1:] {
+		if !pt.Skipped {
+			t.Errorf("n=%d not skipped after timeout", pt.Tasks)
+		}
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	cfg := Config{Family: "NL", Fixed: 4, Sizes: []int{16, 32}, Cores: 4, Banks: 4, Seed: 1}
 	panel, err := RunPanel(cfg, []Algorithm{Incremental()}, nil)

@@ -12,15 +12,20 @@
 // swap two adjacent tasks of one core when the swap does not contradict a
 // dependency; the objective is the analyzed makespan. Two searchers are
 // provided: greedy hill climbing and simulated annealing (deterministic,
-// seeded).
+// seeded). Both can spread their candidate evaluations over a bounded
+// worker pool (Options.Jobs) without changing any reported result: each
+// analysis instance stays single-threaded, and the search decisions are
+// functions of submission order, never completion order.
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/sched"
 	"github.com/mia-rt/mia/internal/sched/incremental"
 )
@@ -40,6 +45,18 @@ type Options struct {
 	// (default 0.995).
 	Temperature float64
 	Cooling     float64
+	// Jobs bounds concurrent candidate evaluations (≤ 1 is sequential).
+	// The search itself stays deterministic at every jobs level: hill
+	// climbing evaluates whole swap neighborhoods on the worker pool and
+	// selects moves by enumeration order, and annealing parallelizes
+	// across independent restart chains, never inside one chain (each
+	// chain's accept/reject walk is RNG-sequential by nature).
+	Jobs int
+	// Restarts runs this many independent annealing chains (seeds Seed,
+	// Seed+1, ...) and returns the best schedule found, ties broken by
+	// the lowest chain index. Values ≤ 1 mean a single chain. Ignored by
+	// hill climbing, which is deterministic from the start order.
+	Restarts int
 }
 
 func (o Options) maxEvals() int {
@@ -56,8 +73,13 @@ type Result struct {
 	// Initial and Improved are the makespans before and after.
 	Initial  model.Cycles
 	Improved model.Cycles
-	// Evaluations counts analyzed candidates (including rejected ones).
+	// Evaluations counts analyzed candidates (including rejected ones,
+	// summed over all chains for multi-restart annealing).
 	Evaluations int
+	// Moves is the visit order: the accepted (core, position) swaps in the
+	// order they were applied (for annealing, the winning chain's walk).
+	// The determinism tests assert it is identical at every jobs level.
+	Moves [][2]int
 }
 
 // Gain returns the relative makespan reduction in percent.
@@ -105,6 +127,13 @@ func applySwap(g *model.Graph, core, pos int) {
 
 // HillClimb repeatedly applies the best improving adjacent swap until no
 // swap improves the makespan or the evaluation budget is exhausted.
+//
+// With Options.Jobs > 1, each round's candidate neighborhood is evaluated
+// concurrently on the worker pool. The outcome is identical to the
+// sequential search: the candidate list is fixed by enumeration order
+// before any evaluation starts, results come back indexed by candidate,
+// and the applied move is the first maximal-gain candidate in that order —
+// none of which depends on evaluation completion order.
 func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 	cur := g.Clone()
 	if err := cur.Validate(); err != nil {
@@ -117,28 +146,47 @@ func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 	res := &Result{Initial: base, Improved: base, Evaluations: 1}
 	budget := opts.maxEvals()
 	for res.Evaluations < budget {
-		bestGain := model.Cycles(0)
-		bestMove := [2]int{-1, -1}
+		// Fix the round's candidates first: every legal, DAG-valid swap in
+		// enumeration order, truncated to the remaining evaluation budget.
+		// Validation mutates cur transiently, so it stays in this
+		// goroutine; only the pure evaluations fan out.
+		type candidate struct {
+			mv [2]int
+			g  *model.Graph
+		}
+		var cands []candidate
 		for _, mv := range legalAdjacentSwaps(cur) {
-			if res.Evaluations >= budget {
+			if res.Evaluations+len(cands) >= budget {
 				break
 			}
 			applySwap(cur, mv[0], mv[1])
 			if cur.Validate() == nil {
-				m := evaluate(cur, opts.Sched)
-				res.Evaluations++
-				if res.Improved-m > bestGain {
-					bestGain = res.Improved - m
-					bestMove = mv
-				}
+				cands = append(cands, candidate{mv: mv, g: cur.Clone()})
 			}
 			applySwap(cur, mv[0], mv[1]) // undo
 		}
+		makespans, err := pool.Map(context.Background(), opts.Jobs, len(cands),
+			func(_ context.Context, i int) (model.Cycles, error) {
+				return evaluate(cands[i].g, opts.Sched), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += len(cands)
+		bestGain := model.Cycles(0)
+		bestMove := [2]int{-1, -1}
+		for i, m := range makespans {
+			if res.Improved-m > bestGain {
+				bestGain = res.Improved - m
+				bestMove = cands[i].mv
+			}
+		}
 		if bestMove[0] < 0 {
-			break // local optimum
+			break // local optimum (or no candidate fit the budget)
 		}
 		applySwap(cur, bestMove[0], bestMove[1])
 		res.Improved -= bestGain
+		res.Moves = append(res.Moves, bestMove)
 	}
 	res.Best = cur
 	return res, nil
@@ -148,7 +196,41 @@ func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 // always accepted when improving, accepted with probability
 // exp(−Δ/temperature) otherwise, geometric cooling per evaluation. The best
 // candidate ever seen is returned.
+//
+// With Options.Restarts > 1, that many independent chains run — seeded
+// Seed, Seed+1, ... and evaluated concurrently up to Options.Jobs — and the
+// best chain wins, ties broken by the lowest chain index. One chain's walk
+// is inherently sequential (every accept feeds the next RNG draw), so the
+// chains themselves are the parallelism grain; the outcome is a pure
+// function of (graph, Options) regardless of the jobs level.
 func Anneal(g *model.Graph, opts Options) (*Result, error) {
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	chains, err := pool.Map(context.Background(), opts.Jobs, restarts,
+		func(_ context.Context, i int) (*Result, error) {
+			o := opts
+			o.Seed = opts.Seed + int64(i)
+			return annealChain(g, o)
+		})
+	if err != nil {
+		return nil, err
+	}
+	winner := chains[0]
+	total := 0
+	for _, c := range chains {
+		total += c.Evaluations
+		if c.Improved < winner.Improved {
+			winner = c
+		}
+	}
+	winner.Evaluations = total
+	return winner, nil
+}
+
+// annealChain is one seeded annealing walk — the pre-parallelism Anneal.
+func annealChain(g *model.Graph, opts Options) (*Result, error) {
 	cur := g.Clone()
 	if err := cur.Validate(); err != nil {
 		return nil, err
@@ -188,6 +270,7 @@ func Anneal(g *model.Graph, opts Options) (*Result, error) {
 		delta := float64(cand - curCost)
 		if delta <= 0 || (temperature > 0 && rng.Float64() < math.Exp(-delta/temperature)) {
 			curCost = cand
+			res.Moves = append(res.Moves, mv)
 			if cand < res.Improved {
 				res.Improved = cand
 				best = cur.Clone()

@@ -146,6 +146,90 @@ func TestSearchOnPaperWorkload(t *testing.T) {
 	}
 }
 
+// equalMoves compares two visit orders element by element.
+func equalMoves(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHillClimbJobsInvariant is the exploration half of the -jobs
+// determinism guarantee: the parallel neighborhood evaluation must reproduce
+// the sequential search exactly — same final makespan, same evaluation
+// count, and the same accepted moves in the same order.
+func TestHillClimbJobsInvariant(t *testing.T) {
+	p := gen.NewParams(5, 8)
+	p.Cores, p.Banks = 4, 2
+	g := gen.MustLayered(p)
+	ref, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Moves) == 0 {
+		t.Fatal("reference search accepted no moves; test would be vacuous")
+	}
+	for _, jobs := range []int{4, 8} {
+		got, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got.Improved != ref.Improved || got.Evaluations != ref.Evaluations {
+			t.Errorf("jobs=%d: makespan %d evals %d, sequential %d/%d",
+				jobs, got.Improved, got.Evaluations, ref.Improved, ref.Evaluations)
+		}
+		if !equalMoves(got.Moves, ref.Moves) {
+			t.Errorf("jobs=%d: visit order %v, sequential %v", jobs, got.Moves, ref.Moves)
+		}
+	}
+}
+
+// TestAnnealRestartsJobsInvariant checks the multi-chain reduce: with the
+// same seed and restart count, every jobs level must elect the same winning
+// chain — identical best makespan, identical walk, and an evaluation total
+// summed over all chains.
+func TestAnnealRestartsJobsInvariant(t *testing.T) {
+	g := badOrderGraph(t)
+	opts := Options{Seed: 7, MaxEvaluations: 150, Restarts: 4}
+	o1 := opts
+	o1.Jobs = 1
+	ref, err := Anneal(g, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{4, 8} {
+		o := opts
+		o.Jobs = jobs
+		got, err := Anneal(g, o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got.Improved != ref.Improved || got.Evaluations != ref.Evaluations {
+			t.Errorf("jobs=%d: makespan %d evals %d, sequential %d/%d",
+				jobs, got.Improved, got.Evaluations, ref.Improved, ref.Evaluations)
+		}
+		if !equalMoves(got.Moves, ref.Moves) {
+			t.Errorf("jobs=%d: winning walk differs from sequential run", jobs)
+		}
+	}
+	// The total must count every chain's work, not just the winner's.
+	solo := opts
+	solo.Restarts, solo.Jobs = 1, 1
+	one, err := Anneal(g, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Evaluations <= one.Evaluations {
+		t.Errorf("4-restart total %d not greater than single-chain %d",
+			ref.Evaluations, one.Evaluations)
+	}
+}
+
 func TestInputGraphUntouched(t *testing.T) {
 	g := badOrderGraph(t)
 	before := append([]model.TaskID(nil), g.Order(0)...)

@@ -17,6 +17,17 @@ func FuzzReadJSON(f *testing.F) {
 		`{`,
 		`[]`,
 		`{"cores":-1}`,
+		// Malformed platform indices: cores/banks out of range must be
+		// rejected, never indexed with.
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":2}],"edges":[]}`,
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":-1}],"edges":[]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":9223372036854775807}],"edges":[]}`,
+		`{"cores":2,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0},{"id":1,"wcet":1,"core":1}],"edges":[{"from":0,"to":1,"words":1}],"order":[[0],[1],[0]]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[],"order":[[0,0]]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[],"order":[[7]]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[],"bankPolicy":"no-such-policy"}`,
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[{"from":0,"to":0,"words":1}]}`,
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[{"from":-1,"to":0,"words":1}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

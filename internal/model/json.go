@@ -83,6 +83,9 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	for _, e := range in.Edges {
 		b.AddEdge(e.From, e.To, e.Words)
 	}
+	if len(in.Order) > in.Cores {
+		return nil, fmt.Errorf("model: %d order lists for %d cores", len(in.Order), in.Cores)
+	}
 	for k, order := range in.Order {
 		b.SetOrder(CoreID(k), order)
 	}

@@ -1,0 +1,142 @@
+// Package pool provides the bounded, deterministic worker pool behind the
+// repository's parallel sweeps: the benchmark harness fans (family, size,
+// algorithm) points out over it, and the design-space explorer evaluates
+// whole swap neighborhoods concurrently.
+//
+// The pool's contract is what makes parallelism safe to expose in tools
+// whose output is diffed byte-for-byte in tests:
+//
+//   - Deterministic ordering: results are indexed by submission order, never
+//     completion order. Map(ctx, 8, n, f) fills results[i] with f(ctx, i) no
+//     matter which worker ran it or when it finished.
+//   - Bounded concurrency: at most jobs tasks run at once; jobs ≤ 1 degrades
+//     to a plain sequential loop in the calling goroutine, so "-jobs 1" is
+//     not merely equivalent to the serial code path — it is the serial code
+//     path.
+//   - Context cancellation: once ctx is canceled, unstarted tasks are never
+//     launched and Map returns ctx.Err(). Tasks already running are expected
+//     to honor ctx themselves (the schedulers poll Options.Cancel).
+//   - Error and panic transparency: the first task error (in submission
+//     order, not completion order) is returned after all started tasks have
+//     drained; a panicking task re-panics in the caller's goroutine with the
+//     original value, so a crash is never silently swallowed by a worker.
+//
+// The analysis itself stays single-threaded per instance — the incremental
+// scheduler's time cursor is inherently sequential — so the pool only ever
+// parallelizes across independent instances (sweep points, neighbors,
+// annealing chains), which is exactly the granularity where determinism can
+// be preserved.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Jobs normalizes a user-supplied -jobs value: values below 1 select
+// sequential execution, and 0 is offered to flags as "auto" meaning
+// runtime.NumCPU.
+func Jobs(n int) int {
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// panicError carries a recovered panic value from a worker to the submitting
+// goroutine, where it is re-raised.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("pool: task panicked: %v", p.value)
+}
+
+// Map runs f(ctx, i) for i in [0, n) on at most jobs concurrent workers and
+// returns the results indexed by i (submission order). A task error does not
+// stop the sweep — the remaining tasks still run, and the first error by
+// index is returned once everything finishes (cancel ctx from inside f for
+// fail-fast). When ctx is canceled, unstarted tasks are never launched and
+// ctx.Err() is returned unless a task error takes precedence. A panic in any
+// task is re-raised in the caller's goroutine.
+func Map[T any](ctx context.Context, jobs, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	errs := make([]error, n)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, firstError(errs, err)
+			}
+			results[i], errs[i] = safeCall(ctx, i, f)
+		}
+		return results, firstError(errs, nil)
+	}
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i], errs[i] = safeCall(ctx, i, f)
+			}
+		}()
+	}
+	var ctxErr error
+feed:
+	for i := 0; i < n; i++ {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break // prompt even when a worker is ready to receive
+		}
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	return results, firstError(errs, ctxErr)
+}
+
+// safeCall invokes f, converting a panic into a panicError so that exactly
+// one goroutine (the caller of Map) re-raises it.
+func safeCall[T any](ctx context.Context, i int, f func(ctx context.Context, i int) (T, error)) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			err = &panicError{value: r, stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	return f(ctx, i)
+}
+
+// firstError picks the lowest-index task error, re-raising captured panics;
+// fallback (typically ctx.Err()) applies only when no task failed.
+func firstError(errs []error, fallback error) error {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*panicError); ok {
+			panic(fmt.Sprintf("%v\n\nworker stack:\n%s", pe.value, pe.stack))
+		}
+		return err
+	}
+	return fallback
+}

@@ -1,0 +1,201 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsBySubmission(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 8, 100} {
+		got, err := Map(context.Background(), jobs, 50, func(_ context.Context, i int) (int, error) {
+			// Finish in roughly reverse order to stress completion-order
+			// independence.
+			time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: results[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), jobs, 64, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Fatalf("peak concurrency %d exceeds jobs=%d", p, jobs)
+	}
+}
+
+func TestMapSequentialRunsInCallerGoroutine(t *testing.T) {
+	// jobs ≤ 1 must be the serial code path: strictly in-order, no
+	// interleaving possible.
+	var order []int
+	_, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		order = append(order, i) // safe only if truly sequential
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapReturnsFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(context.Background(), jobs, 20, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errB // completes first...
+			case 3:
+				time.Sleep(time.Millisecond)
+				return 0, errA // ...but the lower index wins
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("jobs=%d: err = %v, want errA", jobs, err)
+		}
+	}
+}
+
+func TestMapErrorDoesNotStopSweep(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 2, 10, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d tasks, want all 10", ran.Load())
+	}
+}
+
+func TestMapCancellationStopsLaunching(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Map(ctx, 2, 1000, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s > 20 {
+		t.Fatalf("%d tasks started after cancellation", s)
+	}
+}
+
+func TestMapCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(ctx, jobs, 5, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v", jobs, err)
+		}
+		if jobs == 1 && ran.Load() != 0 {
+			t.Fatalf("sequential path ran %d tasks under canceled ctx", ran.Load())
+		}
+	}
+}
+
+func TestMapRepanicsInCaller(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("jobs=%d: panic swallowed", jobs)
+				}
+				if !strings.Contains(fmt.Sprint(r), "kaboom") {
+					t.Fatalf("jobs=%d: panic value lost: %v", jobs, r)
+				}
+			}()
+			Map(context.Background(), jobs, 8, func(_ context.Context, i int) (int, error) {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapSharedStateIsRaceFree(t *testing.T) {
+	// Exercised under -race in CI: concurrent writers into distinct result
+	// slots plus a shared atomic must not trip the detector.
+	var sum atomic.Int64
+	got, err := Map(context.Background(), 8, 200, func(_ context.Context, i int) (int, error) {
+		sum.Add(int64(i))
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 || sum.Load() != 199*200/2 {
+		t.Fatalf("len=%d sum=%d", len(got), sum.Load())
+	}
+}
+
+func TestJobs(t *testing.T) {
+	if Jobs(-1) != 1 || Jobs(1) != 1 || Jobs(7) != 7 {
+		t.Error("Jobs normalization broken")
+	}
+	if Jobs(0) < 1 {
+		t.Error("Jobs(0) must resolve to NumCPU ≥ 1")
+	}
+}

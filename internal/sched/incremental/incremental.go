@@ -61,6 +61,14 @@ type slot struct {
 	// separate competitors. Slices are reused across tasks occupying the
 	// slot to avoid per-event allocation.
 	comp [][]arbiter.Request
+	// terms[b][i] caches the additive per-competitor bound term
+	// Bound(dst, {comp[b][i]}, b) for the task currently in the slot: the
+	// memoized running-IBUS state of the fast path. When an interferer's
+	// demand grows, only its term is re-evaluated and the delta applied —
+	// one single-competitor arbiter call per update instead of a rescan of
+	// the whole competitor set. Maintained only on the fast path; reset
+	// together with comp when a new task opens.
+	terms [][]model.Cycles
 }
 
 type state struct {
@@ -68,9 +76,12 @@ type state struct {
 	arb      arbiter.Arbiter
 	deadline model.Cycles
 	separate bool
-	additive bool
-	trace    func(sched.Event)
-	cancel   <-chan struct{}
+	// fast selects the cached-IBUS fast path: the arbiter's bound
+	// decomposes per competitor and the options did not request the
+	// uncached reference oracle.
+	fast   bool
+	trace  func(sched.Event)
+	cancel <-chan struct{}
 
 	res *sched.Result
 
@@ -98,7 +109,7 @@ func newState(g *model.Graph, opts sched.Options) *state {
 		arb:      arb,
 		deadline: opts.EffectiveDeadline(),
 		separate: opts.SeparateCompetitors,
-		additive: arb.Additive(),
+		fast:     arb.Additive() && !opts.DisableFastPath,
 		trace:    opts.Trace,
 		cancel:   opts.Cancel,
 		res:      sched.NewResult(Algorithm, n, g.Banks),
@@ -117,6 +128,7 @@ func newState(g *model.Graph, opts sched.Options) *state {
 	for k := range s.slots {
 		s.slots[k].task = model.NoTask
 		s.slots[k].comp = make([][]arbiter.Request, g.Banks)
+		s.slots[k].terms = make([][]model.Cycles, g.Banks)
 	}
 	return s
 }
@@ -226,6 +238,7 @@ func (s *state) openAt(t model.Cycles) {
 		sl.finish = t + task.WCET
 		for b := range sl.comp {
 			sl.comp[b] = sl.comp[b][:0]
+			sl.terms[b] = sl.terms[b][:0]
 		}
 		s.emit(sched.EventOpen, t, id, 0)
 
@@ -277,12 +290,13 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 
 	if s.separate {
 		// Every task is its own competitor entry.
-		sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
-		if s.additive {
-			s.scratch[0] = arbiter.Request{Core: src.Core, Demand: w}
-			delta := s.arb.Bound(dstReq, s.scratch, b)
-			s.res.PerBank[sl.task][b] += delta
-			return delta
+		req := arbiter.Request{Core: src.Core, Demand: w}
+		sl.comp[b] = append(comps, req)
+		if s.fast {
+			term := arbiter.One(s.arb, dstReq, req, b, s.scratch)
+			sl.terms[b] = append(sl.terms[b], term)
+			s.res.PerBank[sl.task][b] += term
+			return term
 		}
 		return s.recomputeBank(sl, dstReq, b)
 	}
@@ -295,31 +309,35 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 			break
 		}
 	}
-	if s.additive {
-		// Additive fast path: the bound is a sum of per-entry terms, so
-		// only the changed entry's term needs recomputation — O(1) per
-		// update instead of a full rescan. This is the speed-up that the
-		// additivity property of Section II.C enables.
-		var before model.Cycles
+	if !s.fast {
+		// Reference oracle: mutate the competitor set, then re-evaluate the
+		// full bound over it.
 		if idx >= 0 {
-			s.scratch[0] = comps[idx]
-			before = s.arb.Bound(dstReq, s.scratch, b)
 			comps[idx].Demand += w
-			s.scratch[0] = comps[idx]
 		} else {
-			s.scratch[0] = arbiter.Request{Core: src.Core, Demand: w}
-			sl.comp[b] = append(comps, s.scratch[0])
+			sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
 		}
-		delta := s.arb.Bound(dstReq, s.scratch, b) - before
-		s.res.PerBank[sl.task][b] += delta
-		return delta
+		return s.recomputeBank(sl, dstReq, b)
 	}
-	if idx >= 0 {
-		comps[idx].Demand += w
-	} else {
-		sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
+	// Cached-IBUS fast path: the bound is a sum of per-entry terms and
+	// terms[b] memoizes each entry's current term, so a growing entry costs
+	// one single-competitor evaluation plus a subtraction — O(1) per update
+	// instead of a rescan of the competitor set. This is the speed-up that
+	// the additivity property of Section II.C enables.
+	if idx < 0 {
+		req := arbiter.Request{Core: src.Core, Demand: w}
+		sl.comp[b] = append(comps, req)
+		term := arbiter.One(s.arb, dstReq, req, b, s.scratch)
+		sl.terms[b] = append(sl.terms[b], term)
+		s.res.PerBank[sl.task][b] += term
+		return term
 	}
-	return s.recomputeBank(sl, dstReq, b)
+	comps[idx].Demand += w
+	term := arbiter.One(s.arb, dstReq, comps[idx], b, s.scratch)
+	delta := term - sl.terms[b][idx]
+	sl.terms[b][idx] = term
+	s.res.PerBank[sl.task][b] += delta
+	return delta
 }
 
 // recomputeBank re-evaluates the full arbiter bound for one bank (the

@@ -43,6 +43,15 @@ type Options struct {
 	// flag exists for the ablation experiment quantifying that claim.
 	SeparateCompetitors bool
 
+	// DisableFastPath forces the incremental scheduler onto its uncached
+	// reference path: every interference update re-evaluates the full
+	// arbiter bound over the accumulated competitor set, even for additive
+	// policies whose cached per-competitor terms would allow an O(1)
+	// update. The two paths are differentially tested for bit-identical
+	// schedules; this flag exists so the slow path stays reachable as the
+	// oracle (and to quantify the cache's speedup in benchmarks).
+	DisableFastPath bool
+
 	// Trace, when non-nil, receives the incremental scheduler's event
 	// stream (cursor advances, openings, closings, interference updates) —
 	// the data behind the paper's Figure 2 snapshot. It is ignored by the

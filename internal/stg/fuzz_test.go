@@ -1,0 +1,50 @@
+package stg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSTG checks the STG parser never panics and never aborts on
+// allocation (a corrupt task-count header must fail cleanly), and that every
+// accepted graph is internally consistent and convertible to a scheduling
+// problem.
+func FuzzReadSTG(f *testing.F) {
+	seeds := []string{
+		"3\n0 0 0\n1 5 1 0\n2 0 1 1\n",
+		"1\n0 7 0\n",
+		"0\n",
+		"2\n# comment between lines\n0 1 0\n1 1 1 0\n",
+		"4\n0 0 0\n1 10 1 0\n2 20 1 0\n3 0 2 1 2\n# trailing notes\n",
+		"2\n0 1 0\n0 1 0\n",      // duplicate id
+		"2\n0 1 0\n5 1 0\n",      // id out of range
+		"1\n0 1 2 0\n",           // predecessor count mismatch
+		"1\n0 -3 0\n",            // negative processing time
+		"99999999999999999999\n", // overflowing task count
+		"1073741824\n",           // huge but parseable task count
+		"",
+		"x\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(strings.NewReader(string(data)))
+		if err != nil {
+			return // rejection is fine; panics and OOM aborts are not
+		}
+		if len(g.ProcTimes) != g.Tasks() || len(g.Preds) != g.Tasks() {
+			t.Fatalf("inconsistent sizes: %d times, %d pred lists", len(g.ProcTimes), len(g.Preds))
+		}
+		for id, preds := range g.Preds {
+			for _, p := range preds {
+				if p < 0 || p >= g.Tasks() {
+					t.Fatalf("task %d: accepted out-of-range predecessor %d", id, p)
+				}
+			}
+		}
+		if _, err := g.ToProblem(4, 4, DefaultSynthesis()); err != nil {
+			t.Fatalf("accepted graph fails conversion: %v", err)
+		}
+	})
+}

@@ -35,6 +35,9 @@ import (
 	"github.com/mia-rt/mia/internal/model"
 )
 
+// maxTasks bounds the task count a file header may declare.
+const maxTasks = 1 << 20
+
 // Graph is a parsed STG file.
 type Graph struct {
 	// ProcTimes holds each task's processing time.
@@ -71,6 +74,12 @@ func Read(r io.Reader) (*Graph, error) {
 	var n int
 	if _, err := fmt.Sscan(head[0], &n); err != nil || n < 0 {
 		return nil, fmt.Errorf("stg: bad task count %q", head[0])
+	}
+	// Reject absurd headers before allocating per-task slices: a corrupt
+	// count must fail cleanly, not exhaust memory. The largest published STG
+	// instances have 5002 tasks; 2²⁰ leaves three orders of magnitude slack.
+	if n > maxTasks {
+		return nil, fmt.Errorf("stg: task count %d exceeds limit %d", n, maxTasks)
 	}
 	g := &Graph{ProcTimes: make([]model.Cycles, n), Preds: make([][]int, n)}
 	seen := make([]bool, n)
