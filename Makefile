@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race fuzz-smoke ci clean
+.PHONY: all vet build test race fuzz-smoke bench-smoke ci clean
 
 all: build
 
@@ -28,7 +28,18 @@ fuzz-smoke:
 	$(GO) test ./internal/stg -run '^$$' -fuzz FuzzReadSTG -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sched/incremental -run '^$$' -fuzz FuzzScheduleInvariants -fuzztime $(FUZZTIME)
 
-ci: vet build race fuzz-smoke
+# Short benchmark pass compared against the committed baseline. Warn-only by
+# design: shared runners are noisy, so regressions annotate the run instead
+# of failing it (the allocation-free contracts are enforced for real by the
+# AllocsPerRun guard tests under `make test`). Refresh the baseline on a
+# quiet machine with:
+#   $(GO) test ./internal/sched/incremental ./internal/explore -run '^$$' \
+#     -bench . -benchmem -benchtime 1s | $(GO) run ./cmd/benchdiff -update
+bench-smoke:
+	$(GO) test ./internal/sched/incremental ./internal/explore -run '^$$' \
+	  -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
+
+ci: vet build race fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

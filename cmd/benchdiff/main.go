@@ -1,0 +1,196 @@
+// Command benchdiff compares `go test -bench -benchmem` output against a
+// committed baseline and flags regressions — the benchstat-style smoke check
+// behind the CI benchmark job.
+//
+// Usage:
+//
+//	go test ./... -bench . -benchmem -benchtime 100x | benchdiff -baseline BENCH_baseline.json
+//	go test ./... -bench . -benchmem | benchdiff -baseline BENCH_baseline.json -update
+//
+// The comparison is deliberately a *smoke* check, not a statistics suite:
+// shared CI runners are noisy, so a benchmark only draws a warning when it
+// regresses beyond the threshold (default 2x) — and a warning is all it
+// draws. benchdiff always exits 0 on a successful comparison, regressions
+// included; a non-zero exit means the input or the baseline could not be
+// read. Time regressions warn; allocation-count regressions also warn, and
+// a benchmark whose baseline pins 0 allocs/op warns on ANY allocation, since
+// allocs/op is deterministic and zero is the contract the scheduler's hot
+// path ships with (see the AllocsPerRun guards). With -gha, warnings are
+// emitted as GitHub Actions ::warning annotations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's pinned numbers. AllocsOp is a pointer so a
+// baseline can omit it for benchmarks without -benchmem data.
+type entry struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+// baseline is the committed BENCH_baseline.json: benchmark name (with the
+// GOMAXPROCS suffix stripped) → pinned numbers.
+type baseline struct {
+	// Note records how the numbers were produced, for humans regenerating
+	// the file.
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		update    = fs.Bool("update", false, "rewrite the baseline from the measured input instead of comparing")
+		threshold = fs.Float64("threshold", 2.0, "warn when measured/baseline exceeds this ratio")
+		gha       = fs.Bool("gha", false, "emit GitHub Actions ::warning annotations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold <= 1 {
+		return fmt.Errorf("threshold must exceed 1 (got %g)", *threshold)
+	}
+
+	measured, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin (want `go test -bench` output)")
+	}
+
+	if *update {
+		return writeBaseline(*basePath, measured)
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", *basePath, err)
+	}
+
+	warn := func(format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		if *gha {
+			fmt.Fprintf(stdout, "::warning title=benchmark regression::%s\n", msg)
+		} else {
+			fmt.Fprintf(stdout, "WARN: %s\n", msg)
+		}
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		m := measured[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(stdout, "note: %s not in baseline (run -update to pin it)\n", name)
+			continue
+		}
+		if b.NsOp > 0 && m.NsOp/b.NsOp > *threshold {
+			warn("%s: %.0f ns/op vs baseline %.0f ns/op (%.1fx > %.1fx threshold)",
+				name, m.NsOp, b.NsOp, m.NsOp/b.NsOp, *threshold)
+			regressions++
+		}
+		if b.AllocsOp != nil && m.AllocsOp != nil {
+			switch {
+			case *b.AllocsOp == 0 && *m.AllocsOp > 0:
+				// Allocation counts are deterministic: zero is a contract,
+				// not a measurement, so any alloc is a real regression.
+				warn("%s: %.0f allocs/op vs baseline 0 (allocation-free contract broken)",
+					name, *m.AllocsOp)
+				regressions++
+			case *b.AllocsOp > 0 && *m.AllocsOp / *b.AllocsOp > *threshold:
+				warn("%s: %.0f allocs/op vs baseline %.0f (%.1fx > %.1fx threshold)",
+					name, *m.AllocsOp, *b.AllocsOp, *m.AllocsOp / *b.AllocsOp, *threshold)
+				regressions++
+			}
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.1fx of baseline\n", len(names), *threshold)
+	} else {
+		fmt.Fprintf(stdout, "benchdiff: %d possible regression(s) — warnings only, see above (noise on shared runners is expected; re-run or refresh the baseline with -update if reproducible)\n", regressions)
+	}
+	return nil
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so baselines transfer across
+// machines with different core counts.
+func parseBench(r io.Reader) (map[string]entry, error) {
+	out := map[string]entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var e entry
+		seenNs := false
+		// fields: name, iterations, then value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp, seenNs = v, true
+			case "allocs/op":
+				av := v
+				e.AllocsOp = &av
+			}
+		}
+		if !seenNs {
+			return nil, fmt.Errorf("line %q: no ns/op field", sc.Text())
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// writeBaseline pins the measured numbers as the new baseline.
+func writeBaseline(path string, measured map[string]entry) error {
+	b := baseline{
+		Note:       "regenerate: go test ./... -bench . -benchmem | benchdiff -baseline BENCH_baseline.json -update",
+		Benchmarks: measured,
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/mia-rt/mia/internal/sched/incremental
+BenchmarkScheduleIncremental/n=256-8         	    1000	    100000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRescheduleWarm/n=256/warm-8         	    5000	     20000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRescheduleWarm/n=256/cold-8         	    1000	    210000 ns/op	   60720 B/op	     264 allocs/op
+PASS
+ok  	github.com/mia-rt/mia/internal/sched/incremental	2.1s
+`
+
+func writeTempBaseline(t *testing.T, input string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	return path
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := b.Benchmarks["BenchmarkRescheduleWarm/n=256/warm"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped; keys: %v", b.Benchmarks)
+	}
+	if e.NsOp != 20000 || e.AllocsOp == nil || *e.AllocsOp != 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestCompareWithinThresholdIsQuiet(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Fatalf("identical numbers warned:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "within 2.0x") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+}
+
+func TestCompareWarnsButExitsZero(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	slow := strings.Replace(sampleBench, "20000 ns/op", "90000 ns/op", 1)
+	var out bytes.Buffer
+	// A 4.5x time regression must warn yet still return nil (warn-don't-fail).
+	if err := run([]string{"-baseline", path}, strings.NewReader(slow), &out); err != nil {
+		t.Fatalf("regression must not fail the run: %v", err)
+	}
+	if !strings.Contains(out.String(), "WARN") || !strings.Contains(out.String(), "4.5x") {
+		t.Fatalf("missing warning:\n%s", out.String())
+	}
+}
+
+func TestCompareNoiseBelowThresholdIgnored(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	noisy := strings.Replace(sampleBench, "20000 ns/op", "35000 ns/op", 1) // 1.75x < 2x
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(noisy), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Fatalf("sub-threshold noise warned:\n%s", out.String())
+	}
+}
+
+func TestZeroAllocContractWarnsOnAnyAlloc(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	leaky := strings.Replace(sampleBench,
+		"5000	     20000 ns/op	       0 B/op	       0 allocs/op",
+		"5000	     20000 ns/op	      48 B/op	       1 allocs/op", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(leaky), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocation-free contract") {
+		t.Fatalf("1 alloc against a 0-alloc baseline must warn:\n%s", out.String())
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	slow := strings.Replace(sampleBench, "20000 ns/op", "90000 ns/op", 1)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path, "-gha"}, strings.NewReader(slow), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "::warning title=benchmark regression::") {
+		t.Fatalf("missing GHA annotation:\n%s", out.String())
+	}
+}
+
+func TestUnknownBenchmarkIsNoted(t *testing.T) {
+	path := writeTempBaseline(t, sampleBench)
+	extra := sampleBench + "BenchmarkNew/thing-8 	 100	 5000 ns/op\n"
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(extra), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkNew/thing not in baseline") {
+		t.Fatalf("missing note:\n%s", out.String())
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("empty input must fail (broken pipe upstream)")
+	}
+}
+
+func TestMissingBaselineFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
+		strings.NewReader(sampleBench), &out)
+	if err == nil {
+		t.Fatal("missing baseline must fail")
+	}
+}
+
+func TestBadThresholdRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threshold", "0.5"}, strings.NewReader(sampleBench), &out); err == nil {
+		t.Fatal("threshold ≤ 1 must be rejected")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/mia-rt/mia/internal/bench"
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/pool"
+	"github.com/mia-rt/mia/internal/prof"
 	"github.com/mia-rt/mia/internal/sched"
 	"github.com/mia-rt/mia/internal/sched/fixpoint"
 	"github.com/mia-rt/mia/internal/sched/incremental"
@@ -68,12 +69,27 @@ func run(args []string, stdout io.Writer) error {
 		svgDir    = fs.String("svg", "", "also render each panel as a Figure 3-style SVG into this directory")
 		report    = fs.String("report", "", "also append each panel as a Markdown section to this file")
 		quiet     = fs.Bool("q", false, "suppress progress lines")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprof   = fs.String("memprofile", "", "write a heap profile to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cores < 1 || *banks < 1 {
 		return fmt.Errorf("need at least 1 core and 1 bank (got %d, %d)", *cores, *banks)
+	}
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	// finish stops profiling explicitly on success paths so profile-write
+	// errors surface (the defer above only covers error returns).
+	finish := func(err error) error {
+		if err != nil {
+			return err
+		}
+		return stopProf()
 	}
 
 	progress := func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
@@ -85,11 +101,11 @@ func run(args []string, stdout io.Writer) error {
 
 	switch {
 	case *headline:
-		return runHeadline(stdout, base, progress)
+		return finish(runHeadline(stdout, base, progress))
 	case *scale:
-		return runScale(stdout, base, *full, progress)
+		return finish(runScale(stdout, base, *full, progress))
 	case *agreement:
-		return runAgreement(stdout, base)
+		return finish(runAgreement(stdout, base))
 	}
 
 	selected := map[string]bool{}
@@ -134,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	return nil
+	return finish(nil)
 }
 
 // writePanelSVG renders one panel to <dir>/<panel>.svg.

@@ -110,3 +110,24 @@ func TestReportOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run([]string{"-q", "-panels", "LS4", "-cores", "2", "-banks", "2",
+		"-cpuprofile", cpu, "-memprofile", mem}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

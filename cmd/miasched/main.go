@@ -21,6 +21,7 @@ import (
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/plot"
+	"github.com/mia-rt/mia/internal/prof"
 	"github.com/mia-rt/mia/internal/sched"
 	"github.com/mia-rt/mia/internal/sched/fixpoint"
 	"github.com/mia-rt/mia/internal/sched/incremental"
@@ -55,10 +56,17 @@ func run(args []string, stdout io.Writer) error {
 		events    = fs.Bool("events", false, "print the incremental scheduler's event trace")
 		partition = fs.Int64("partition", -1, "print the Closed/Alive/Future partition at this cursor instant (Figure 2)")
 		example   = fs.String("example", "", `schedule a named graph: "figure1", "figure2" or "avionics"`)
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprof   = fs.String("memprofile", "", "write a heap profile to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var g *model.Graph
 	switch {
@@ -185,5 +193,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	// Explicit stop (the defer is then a no-op) so profile-write errors
+	// surface instead of vanishing in the deferred call.
+	return stopProf()
 }

@@ -134,3 +134,30 @@ func TestCriticalityFlag(t *testing.T) {
 		t.Error("criticality without deadline accepted")
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "avionics", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileFlagBadPath(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-example", "figure1", "-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "x")}, &buf)
+	if err == nil {
+		t.Fatal("expected error for unwritable profile path")
+	}
+}

@@ -1,0 +1,49 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// benchGraph is an NL-shaped instance (few wide layers → long per-core
+// orders) of n = layers × layerSize tasks, the regime ISSUE 2 targets for
+// the ≥2x warm-start speedup on neighborhood evaluation.
+func benchGraph(b *testing.B, layers, layerSize int) *model.Graph {
+	b.Helper()
+	p := gen.NewParams(layers, layerSize)
+	p.Seed = 1
+	p.Cores, p.Banks = 8, 4
+	return gen.MustLayered(p)
+}
+
+// BenchmarkHillClimbWarmStart times a fixed hill-climb evaluation budget
+// with warm start on and off. The walks are bit-identical (pinned by
+// TestHillClimbWarmStartInvariant), so the ratio isolates the warm-start
+// win on real neighborhood evaluation.
+func BenchmarkHillClimbWarmStart(b *testing.B) {
+	for _, size := range []struct{ layers, layerSize int }{
+		{4, 32},  // n=128
+		{4, 64},  // n=256
+		{4, 128}, // n=512
+	} {
+		n := size.layers * size.layerSize
+		g := benchGraph(b, size.layers, size.layerSize)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"warm", false}, {"cold", true}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				opts := Options{MaxEvaluations: 600, Jobs: 1, DisableWarmStart: mode.disable}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := HillClimb(g, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -16,6 +16,16 @@
 // worker pool (Options.Jobs) without changing any reported result: each
 // analysis instance stays single-threaded, and the search decisions are
 // functions of submission order, never completion order.
+//
+// Candidate evaluation is warm-started: every worker owns one long-lived
+// graph clone, mutated in place by apply/undo swaps, and one
+// incremental.Scheduler whose checkpoints let a neighbor that differs from
+// the incumbent by an adjacent swap replay only the schedule suffix behind
+// the swapped position instead of re-analyzing from t=0. Warm-started
+// replays are bit-identical to cold analyses (differentially tested), so
+// search walks are byte-identical with warm-start on and off, at every jobs
+// level; Options.DisableWarmStart keeps the cold path reachable as the
+// oracle and benchmark baseline.
 package explore
 
 import (
@@ -57,6 +67,13 @@ type Options struct {
 	// the lowest chain index. Values ≤ 1 mean a single chain. Ignored by
 	// hill climbing, which is deterministic from the start order.
 	Restarts int
+	// DisableWarmStart forces every candidate evaluation to run the
+	// incremental analysis cold from t=0 instead of replaying from the
+	// nearest checkpoint. Warm and cold evaluations produce bit-identical
+	// schedules, so this flag changes wall-clock time only; it exists as
+	// the differential-testing oracle and the benchmark baseline that
+	// quantifies the warm-start speedup.
+	DisableWarmStart bool
 }
 
 func (o Options) maxEvals() int {
@@ -90,39 +107,176 @@ func (r *Result) Gain() float64 {
 	return 100 * float64(r.Initial-r.Improved) / float64(r.Initial)
 }
 
-// evaluate analyzes a candidate, returning Infinity for unschedulable ones.
-func evaluate(g *model.Graph, opts sched.Options) model.Cycles {
-	res, err := incremental.Schedule(g, opts)
+// maxPendingEdits is the number of divergence sites an evaluator tolerates
+// between its graph and its scheduler's checkpoint baseline before rebasing
+// with a cold run. Two sites cover the steady state of both searches (the
+// last accepted move plus the candidate under evaluation); beyond that, each
+// extra site can only push the restart checkpoint earlier, so a rebase —
+// whose cold run doubles as the candidate's evaluation — is the better deal.
+const maxPendingEdits = 2
+
+// evaluator owns one worker's long-lived analysis resources: a private clone
+// of the search's incumbent graph, mutated in place by apply/undo swaps, and
+// a warm-start scheduler whose checkpoints are reused across the candidate
+// evaluations the worker performs. Results do not depend on which evaluator
+// analyzed a candidate — warm replays are bit-identical to cold runs — which
+// is what keeps the searches deterministic at every jobs level.
+type evaluator struct {
+	g       *model.Graph
+	opts    sched.Options
+	disable bool
+
+	sch  *incremental.Scheduler
+	warm bool // sch's checkpoints describe baseOrder
+	// baseOrder mirrors g's per-core orders as of the last rebase (the
+	// scheduler's checkpoint baseline); divergence diffs g against it.
+	baseOrder [][]model.TaskID
+	edits     []incremental.Edit
+}
+
+// newEvaluator clones g for exclusive use by one worker.
+func newEvaluator(g *model.Graph, opts Options) *evaluator {
+	e := &evaluator{g: g.Clone(), opts: opts.Sched, disable: opts.DisableWarmStart}
+	if !e.disable {
+		e.sch = incremental.NewScheduler(e.g, opts.Sched)
+		e.baseOrder = make([][]model.TaskID, e.g.Cores)
+	}
+	return e
+}
+
+// evaluate analyzes the evaluator's graph as currently ordered, returning
+// Infinity for unschedulable candidates. With warm-start enabled it replays
+// from the nearest checkpoint unaffected by the order positions that changed
+// since the last rebase, and rebases cold when the divergence grows beyond
+// what replay exploits well.
+func (e *evaluator) evaluate() model.Cycles {
+	if e.disable {
+		res, err := incremental.Schedule(e.g, e.opts)
+		if err != nil {
+			return model.Infinity
+		}
+		return res.Makespan
+	}
+	if e.warm {
+		edits := e.divergence()
+		if len(edits) <= maxPendingEdits {
+			res, err := e.sch.Reschedule(edits...)
+			if err != nil {
+				return model.Infinity // baseline checkpoints stay valid
+			}
+			return res.Makespan
+		}
+	}
+	// Cold run doubling as a rebase: it records fresh checkpoints for the
+	// graph as currently ordered, so the work is the candidate's evaluation
+	// and the new baseline in one pass.
+	res, err := e.sch.Schedule()
 	if err != nil {
+		e.warm = false
 		return model.Infinity
 	}
+	e.warm = true
+	e.rebase()
 	return res.Makespan
 }
 
-// legalAdjacentSwaps enumerates (core, position) pairs where order[pos] and
-// order[pos+1] may exchange without violating a direct dependency.
-func legalAdjacentSwaps(g *model.Graph) [][2]int {
-	dep := make(map[[2]model.TaskID]bool)
-	for _, e := range g.Edges() {
-		dep[[2]model.TaskID{e.From, e.To}] = true
+// swapEval evaluates the neighbor reached by one adjacent swap, leaving the
+// evaluator's graph as it found it.
+func (e *evaluator) swapEval(mv [2]int) model.Cycles {
+	applySwap(e.g, mv[0], mv[1])
+	m := e.evaluate()
+	applySwap(e.g, mv[0], mv[1])
+	return m
+}
+
+// accept applies a move the search committed to, so the evaluator's graph
+// keeps tracking the incumbent, and eagerly rebases the checkpoint baseline
+// onto it. Without the rebase every later candidate would carry the accepted
+// move as a second divergence site, forcing replays to restart before the
+// *earlier* of the two positions; one cold run here amortizes over the whole
+// next neighborhood and keeps each candidate single-edit.
+func (e *evaluator) accept(mv [2]int) {
+	applySwap(e.g, mv[0], mv[1])
+	if e.disable {
+		return
 	}
-	var moves [][2]int
-	for k := 0; k < g.Cores; k++ {
-		order := g.Order(model.CoreID(k))
-		for pos := 0; pos+1 < len(order); pos++ {
-			if !dep[[2]model.TaskID{order[pos], order[pos+1]}] {
-				moves = append(moves, [2]int{k, pos})
+	if _, err := e.sch.Schedule(); err == nil {
+		e.warm = true
+		e.rebase()
+	} else {
+		e.warm = false // next evaluate rebases via its cold run
+	}
+}
+
+// rebase records g's current orders as the scheduler's checkpoint baseline.
+func (e *evaluator) rebase() {
+	for k := 0; k < e.g.Cores; k++ {
+		e.baseOrder[k] = append(e.baseOrder[k][:0], e.g.Order(model.CoreID(k))...)
+	}
+}
+
+// divergence lists, per core, the first order position where g differs from
+// the checkpoint baseline. Diffing against the baseline — rather than
+// logging mutations — makes apply/undo pairs cancel exactly, so the steady
+// state of a neighborhood sweep stays at one or two sites.
+func (e *evaluator) divergence() []incremental.Edit {
+	e.edits = e.edits[:0]
+	for k := 0; k < e.g.Cores; k++ {
+		cur, base := e.g.Order(model.CoreID(k)), e.baseOrder[k]
+		for i := range cur {
+			if cur[i] != base[i] {
+				e.edits = append(e.edits, incremental.Edit{Core: model.CoreID(k), From: i})
+				break
 			}
 		}
 	}
-	return moves
+	return e.edits
 }
 
-// applySwap exchanges the two tasks at (core, pos) and (core, pos+1).
+// moveSet caches what neighborhood enumeration needs across a whole search:
+// the dependency-pair set (the edge set never changes, only orders do) and a
+// reusable moves buffer, so per-round enumeration is map-build-free and
+// allocation-free in steady state.
+type moveSet struct {
+	dep map[[2]model.TaskID]bool
+	buf [][2]int
+}
+
+func newMoveSet(g *model.Graph) *moveSet {
+	ms := &moveSet{dep: make(map[[2]model.TaskID]bool, len(g.Edges()))}
+	for _, e := range g.Edges() {
+		ms.dep[[2]model.TaskID{e.From, e.To}] = true
+	}
+	return ms
+}
+
+// legal enumerates (core, position) pairs where order[pos] and order[pos+1]
+// may exchange without violating a direct dependency. The returned slice is
+// valid until the next call.
+func (ms *moveSet) legal(g *model.Graph) [][2]int {
+	ms.buf = ms.buf[:0]
+	for k := 0; k < g.Cores; k++ {
+		order := g.Order(model.CoreID(k))
+		for pos := 0; pos+1 < len(order); pos++ {
+			if !ms.dep[[2]model.TaskID{order[pos], order[pos+1]}] {
+				ms.buf = append(ms.buf, [2]int{k, pos})
+			}
+		}
+	}
+	return ms.buf
+}
+
+// legalAdjacentSwaps is the one-shot form of moveSet.legal.
+func legalAdjacentSwaps(g *model.Graph) [][2]int {
+	return newMoveSet(g).legal(g)
+}
+
+// applySwap exchanges the two tasks at (core, pos) and (core, pos+1) in
+// place; applying it twice restores the original order. Mutating in place
+// (instead of copy-and-set) is what lets workers reuse one clone across a
+// whole search at zero allocations per candidate.
 func applySwap(g *model.Graph, core, pos int) {
-	order := append([]model.TaskID(nil), g.Order(model.CoreID(core))...)
-	order[pos], order[pos+1] = order[pos+1], order[pos]
-	g.SetOrder(model.CoreID(core), order)
+	g.SwapOrder(model.CoreID(core), pos)
 }
 
 // HillClimb repeatedly applies the best improving adjacent swap until no
@@ -133,41 +287,47 @@ func applySwap(g *model.Graph, core, pos int) {
 // sequential search: the candidate list is fixed by enumeration order
 // before any evaluation starts, results come back indexed by candidate,
 // and the applied move is the first maximal-gain candidate in that order —
-// none of which depends on evaluation completion order.
+// none of which depends on evaluation completion order. Each worker owns
+// one evaluator (graph clone + warm scheduler) for the whole search instead
+// of receiving a fresh clone per candidate; accepted moves are applied to
+// every clone between rounds, so neighbors are always one swap away from a
+// checkpointed baseline.
 func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 	cur := g.Clone()
 	if err := cur.Validate(); err != nil {
 		return nil, err
 	}
-	base := evaluate(cur, opts.Sched)
+	workers := opts.Jobs
+	if workers < 1 {
+		workers = 1
+	}
+	evs := make([]*evaluator, workers)
+	for w := range evs {
+		evs[w] = newEvaluator(cur, opts)
+	}
+	base := evs[0].evaluate()
 	if base == model.Infinity {
 		return nil, fmt.Errorf("explore: initial order is unschedulable")
 	}
 	res := &Result{Initial: base, Improved: base, Evaluations: 1}
 	budget := opts.maxEvals()
+	moves := newMoveSet(cur)
 	for res.Evaluations < budget {
-		// Fix the round's candidates first: every legal, DAG-valid swap in
-		// enumeration order, truncated to the remaining evaluation budget.
-		// Validation mutates cur transiently, so it stays in this
-		// goroutine; only the pure evaluations fan out.
-		type candidate struct {
-			mv [2]int
-			g  *model.Graph
+		// Fix the round's candidates first: every legal swap in enumeration
+		// order, truncated to the remaining evaluation budget. No per-swap
+		// re-validation is needed: on a valid incumbent, an adjacent swap can
+		// only break same-core ordering via a direct edge between the swapped
+		// pair (already filtered — a same-core transitive path would need an
+		// intermediate between two adjacent entries), and cross-core
+		// deadlocks are outside Validate's remit anyway; the schedulers
+		// report those and the evaluation scores them Infinity.
+		cands := moves.legal(cur)
+		if left := budget - res.Evaluations; len(cands) > left {
+			cands = cands[:left]
 		}
-		var cands []candidate
-		for _, mv := range legalAdjacentSwaps(cur) {
-			if res.Evaluations+len(cands) >= budget {
-				break
-			}
-			applySwap(cur, mv[0], mv[1])
-			if cur.Validate() == nil {
-				cands = append(cands, candidate{mv: mv, g: cur.Clone()})
-			}
-			applySwap(cur, mv[0], mv[1]) // undo
-		}
-		makespans, err := pool.Map(context.Background(), opts.Jobs, len(cands),
-			func(_ context.Context, i int) (model.Cycles, error) {
-				return evaluate(cands[i].g, opts.Sched), nil
+		makespans, err := pool.MapWith(context.Background(), evs, len(cands),
+			func(_ context.Context, ev *evaluator, i int) (model.Cycles, error) {
+				return ev.swapEval(cands[i]), nil
 			})
 		if err != nil {
 			return nil, err
@@ -178,13 +338,16 @@ func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 		for i, m := range makespans {
 			if res.Improved-m > bestGain {
 				bestGain = res.Improved - m
-				bestMove = cands[i].mv
+				bestMove = cands[i]
 			}
 		}
 		if bestMove[0] < 0 {
 			break // local optimum (or no candidate fit the budget)
 		}
 		applySwap(cur, bestMove[0], bestMove[1])
+		for _, ev := range evs {
+			ev.accept(bestMove)
+		}
 		res.Improved -= bestGain
 		res.Moves = append(res.Moves, bestMove)
 	}
@@ -230,12 +393,16 @@ func Anneal(g *model.Graph, opts Options) (*Result, error) {
 }
 
 // annealChain is one seeded annealing walk — the pre-parallelism Anneal.
+// The chain owns a single evaluator: the walk mutates the evaluator's clone
+// in place (accepted swaps stay, rejected swaps are undone) and each
+// candidate is analyzed warm from the last rebased baseline.
 func annealChain(g *model.Graph, opts Options) (*Result, error) {
-	cur := g.Clone()
+	ev := newEvaluator(g, opts)
+	cur := ev.g
 	if err := cur.Validate(); err != nil {
 		return nil, err
 	}
-	curCost := evaluate(cur, opts.Sched)
+	curCost := ev.evaluate()
 	if curCost == model.Infinity {
 		return nil, fmt.Errorf("explore: initial order is unschedulable")
 	}
@@ -254,18 +421,18 @@ func annealChain(g *model.Graph, opts Options) (*Result, error) {
 	}
 
 	budget := opts.maxEvals()
+	ms := newMoveSet(cur)
 	for res.Evaluations < budget {
-		moves := legalAdjacentSwaps(cur)
+		moves := ms.legal(cur)
 		if len(moves) == 0 {
 			break
 		}
 		mv := moves[rng.Intn(len(moves))]
+		// No re-validation after the swap: legal adjacent swaps preserve
+		// Validate-validity on a valid incumbent (see HillClimb), and a
+		// cross-core deadlock simply evaluates to Infinity and is rejected.
 		applySwap(cur, mv[0], mv[1])
-		if cur.Validate() != nil {
-			applySwap(cur, mv[0], mv[1])
-			continue
-		}
-		cand := evaluate(cur, opts.Sched)
+		cand := ev.evaluate()
 		res.Evaluations++
 		delta := float64(cand - curCost)
 		if delta <= 0 || (temperature > 0 && rng.Float64() < math.Exp(-delta/temperature)) {

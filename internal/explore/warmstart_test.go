@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// warmCorpus yields a few structurally different search inputs: the
+// hand-built pathological order, a wide shallow DAG (large per-core orders →
+// deep warm-start suffixes), and a deep narrow DAG with a shared bank.
+func warmCorpus(t testing.TB) []*model.Graph {
+	t.Helper()
+	wide := gen.NewParams(4, 16)
+	wide.Seed = 11
+	wide.Cores, wide.Banks = 4, 2
+	deep := gen.NewParams(10, 4)
+	deep.Seed = 5
+	deep.Cores, deep.Banks = 4, 4
+	deep.SharedBank = true
+	return []*model.Graph{badOrderGraph(t), gen.MustLayered(wide), gen.MustLayered(deep)}
+}
+
+// TestHillClimbWarmStartInvariant is the exploration half of the warm-start
+// differential contract: disabling warm start changes only wall-clock, never
+// the walk. Every (warm on/off) × (jobs level) combination must report the
+// same makespans, evaluation count and accepted move sequence.
+func TestHillClimbWarmStartInvariant(t *testing.T) {
+	for gi, g := range warmCorpus(t) {
+		ref, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: 1, DisableWarmStart: true})
+		if err != nil {
+			t.Fatalf("graph[%d]: cold reference: %v", gi, err)
+		}
+		for _, jobs := range []int{1, 4, 8} {
+			for _, disable := range []bool{false, true} {
+				label := fmt.Sprintf("graph[%d] jobs=%d warm=%v", gi, jobs, !disable)
+				got, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: jobs, DisableWarmStart: disable})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if got.Initial != ref.Initial || got.Improved != ref.Improved || got.Evaluations != ref.Evaluations {
+					t.Errorf("%s: %d→%d in %d evals, cold sequential %d→%d in %d",
+						label, got.Initial, got.Improved, got.Evaluations,
+						ref.Initial, ref.Improved, ref.Evaluations)
+				}
+				if !equalMoves(got.Moves, ref.Moves) {
+					t.Errorf("%s: visit order %v, cold sequential %v", label, got.Moves, ref.Moves)
+				}
+			}
+		}
+	}
+}
+
+// TestAnnealWarmStartInvariant pins the same contract for the annealing
+// chains, including the multi-restart reduce across jobs levels.
+func TestAnnealWarmStartInvariant(t *testing.T) {
+	for gi, g := range warmCorpus(t) {
+		base := Options{Seed: 9, MaxEvaluations: 150, Restarts: 3}
+		refOpts := base
+		refOpts.Jobs, refOpts.DisableWarmStart = 1, true
+		ref, err := Anneal(g, refOpts)
+		if err != nil {
+			t.Fatalf("graph[%d]: cold reference: %v", gi, err)
+		}
+		for _, jobs := range []int{1, 4, 8} {
+			for _, disable := range []bool{false, true} {
+				label := fmt.Sprintf("graph[%d] jobs=%d warm=%v", gi, jobs, !disable)
+				o := base
+				o.Jobs, o.DisableWarmStart = jobs, disable
+				got, err := Anneal(g, o)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if got.Initial != ref.Initial || got.Improved != ref.Improved || got.Evaluations != ref.Evaluations {
+					t.Errorf("%s: %d→%d in %d evals, cold sequential %d→%d in %d",
+						label, got.Initial, got.Improved, got.Evaluations,
+						ref.Initial, ref.Improved, ref.Evaluations)
+				}
+				if !equalMoves(got.Moves, ref.Moves) {
+					t.Errorf("%s: winning walk differs from cold sequential run", label)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartWithSchedulerOptions crosses warm start with the scheduler
+// option axes the checkpoint machinery interacts with (competitor separation
+// and the uncached oracle path): the walks must still match.
+func TestWarmStartWithSchedulerOptions(t *testing.T) {
+	p := gen.NewParams(5, 8)
+	p.Seed = 2
+	p.Cores, p.Banks = 4, 2
+	g := gen.MustLayered(p)
+	for _, so := range []sched.Options{
+		{SeparateCompetitors: true},
+		{DisableFastPath: true},
+	} {
+		ref, err := HillClimb(g, Options{MaxEvaluations: 200, Jobs: 1, Sched: so, DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HillClimb(g, Options{MaxEvaluations: 200, Jobs: 4, Sched: so})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Improved != ref.Improved || got.Evaluations != ref.Evaluations || !equalMoves(got.Moves, ref.Moves) {
+			t.Errorf("separate=%v oracle=%v: warm parallel walk diverged from cold sequential",
+				so.SeparateCompetitors, so.DisableFastPath)
+		}
+	}
+}

@@ -85,6 +85,17 @@ func (g *Graph) SetOrder(k CoreID, order []TaskID) {
 	g.order[k] = append([]TaskID(nil), order...)
 }
 
+// SwapOrder exchanges the tasks at positions pos and pos+1 of core k's
+// execution order in place, without copying the order slice. It is the
+// allocation-free move primitive of the design-space explorer: a swap is
+// undone by calling SwapOrder again with the same arguments. The caller is
+// responsible for position bounds and for re-validating dependency
+// consistency.
+func (g *Graph) SwapOrder(k CoreID, pos int) {
+	o := g.order[k]
+	o[pos], o[pos+1] = o[pos+1], o[pos]
+}
+
 // rebuildAdjacency recomputes succs/preds from the edge list. Adjacency lists
 // are sorted by TaskID so that every traversal in the repository is
 // deterministic.

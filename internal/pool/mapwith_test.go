@@ -1,0 +1,128 @@
+package pool
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// counter is a deliberately unsynchronized per-worker state: any sharing of
+// one counter between two goroutines is a data race the -race runs of this
+// test would catch.
+type counter struct {
+	hits int
+}
+
+func TestMapWithOrdersResultsBySubmission(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		states := make([]*counter, workers)
+		for w := range states {
+			states[w] = &counter{}
+		}
+		got, err := MapWith(context.Background(), states, 50, func(_ context.Context, st *counter, i int) (int, error) {
+			st.hits++
+			time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		total := 0
+		for _, st := range states {
+			total += st.hits
+		}
+		if total != 50 {
+			t.Fatalf("workers=%d: states saw %d tasks, want 50", workers, total)
+		}
+	}
+}
+
+func TestMapWithStateOwnershipIsExclusive(t *testing.T) {
+	// Each state records which goroutine-ish token last touched it; a state
+	// concurrently owned by two workers would trip the in-flight flag. Under
+	// -race, the unsynchronized st.hits increment is an additional tripwire.
+	type guarded struct {
+		inFlight atomic.Int64
+		hits     int
+	}
+	states := []*guarded{{}, {}, {}, {}}
+	_, err := MapWith(context.Background(), states, 200, func(_ context.Context, st *guarded, i int) (struct{}, error) {
+		if st.inFlight.Add(1) != 1 {
+			t.Error("state shared between concurrent tasks")
+		}
+		st.hits++
+		time.Sleep(50 * time.Microsecond)
+		st.inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWithSingleStateRunsInCallerGoroutine(t *testing.T) {
+	// One state must be the serial code path, same as Map with jobs=1.
+	var order []int
+	st := &counter{}
+	_, err := MapWith(context.Background(), []*counter{st}, 10, func(_ context.Context, s *counter, i int) (int, error) {
+		order = append(order, i) // safe only if truly sequential
+		s.hits++
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not sequential", order)
+		}
+	}
+	if st.hits != 10 {
+		t.Fatalf("single state saw %d tasks, want 10", st.hits)
+	}
+}
+
+func TestMapWithRepanicsInCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom-with") {
+			t.Fatalf("panic value %q lost original message", r)
+		}
+	}()
+	_, _ = MapWith(context.Background(), []*counter{{}, {}}, 8, func(_ context.Context, _ *counter, i int) (int, error) {
+		if i == 5 {
+			panic("boom-with")
+		}
+		return i, nil
+	})
+}
+
+func TestMapWithEmptyStatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapWith with no states and n>0 must panic")
+		}
+	}()
+	_, _ = MapWith(context.Background(), []*counter{}, 3, func(_ context.Context, _ *counter, i int) (int, error) {
+		return i, nil
+	})
+}
+
+func TestMapWithZeroTasks(t *testing.T) {
+	got, err := MapWith(context.Background(), []*counter{}, 0, func(_ context.Context, _ *counter, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}

@@ -67,6 +67,36 @@ func (p *panicError) Error() string {
 // ctx.Err() is returned unless a task error takes precedence. A panic in any
 // task is re-raised in the caller's goroutine.
 func Map[T any](ctx context.Context, jobs, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return mapIndexed(ctx, jobs, n, func(_, i int) (T, error) {
+		return safeCall(ctx, i, f)
+	})
+}
+
+// MapWith is Map with per-worker mutable state: worker w (of the
+// len(states) workers) passes states[w] to every task it executes. Each
+// state is owned by exactly one goroutine for the duration of the call, so
+// tasks may mutate it freely without synchronization — the idiom behind
+// allocation-frugal sweeps where each worker reuses one scratch graph or one
+// warm scheduler instead of cloning per task. Which state executes which
+// index is scheduling-dependent; determinism therefore requires f's result
+// to not depend on the state it ran with (e.g. every state is a clone of the
+// same graph), which is exactly the contract the explorer's differential
+// tests pin down. len(states) plays the role of jobs: one state means
+// sequential execution in the calling goroutine. MapWith panics if states is
+// empty and n > 0.
+func MapWith[S, T any](ctx context.Context, states []S, n int, f func(ctx context.Context, st S, i int) (T, error)) ([]T, error) {
+	if len(states) == 0 && n > 0 {
+		panic("pool: MapWith needs at least one worker state")
+	}
+	return mapIndexed(ctx, len(states), n, func(w, i int) (T, error) {
+		return safeCallWith(ctx, states[w], i, f)
+	})
+}
+
+// mapIndexed is the shared engine of Map and MapWith: it distributes indexes
+// [0, n) over min(jobs, n) workers, records results and errors by submission
+// index, and hands each execution its worker number.
+func mapIndexed[T any](ctx context.Context, jobs, n int, call func(w, i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, ctx.Err()
@@ -80,7 +110,7 @@ func Map[T any](ctx context.Context, jobs, n int, f func(ctx context.Context, i 
 			if err := ctx.Err(); err != nil {
 				return results, firstError(errs, err)
 			}
-			results[i], errs[i] = safeCall(ctx, i, f)
+			results[i], errs[i] = call(0, i)
 		}
 		return results, firstError(errs, nil)
 	}
@@ -89,12 +119,12 @@ func Map[T any](ctx context.Context, jobs, n int, f func(ctx context.Context, i 
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range indexes {
-				results[i], errs[i] = safeCall(ctx, i, f)
+				results[i], errs[i] = call(w, i)
 			}
-		}()
+		}(w)
 	}
 	var ctxErr error
 feed:
@@ -124,6 +154,17 @@ func safeCall[T any](ctx context.Context, i int, f func(ctx context.Context, i i
 		}
 	}()
 	return f(ctx, i)
+}
+
+// safeCallWith is safeCall for per-worker-state tasks.
+func safeCallWith[S, T any](ctx context.Context, st S, i int, f func(ctx context.Context, st S, i int) (T, error)) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			err = &panicError{value: r, stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	return f(ctx, st, i)
 }
 
 // firstError picks the lowest-index task error, re-raising captured panics;

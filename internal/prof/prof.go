@@ -1,0 +1,73 @@
+// Package prof wires Go's built-in pprof profilers into the command-line
+// tools. It exists so every binary exposes the same two flags with the same
+// semantics instead of each main() hand-rolling the start/stop dance:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { return err }
+//	defer stop()
+//
+// and the resulting files feed straight into `go tool pprof`. Profiling is
+// strictly opt-in: with both paths empty, Start is a no-op returning a no-op
+// stop, so the flags cost nothing when unused.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap profile to
+// be written to memPath when the returned stop function runs. Either path may
+// be empty to skip that profile. stop is idempotent and safe to both defer
+// and call explicitly before reading the files; it returns the first error
+// encountered while finishing the profiles (errors from the deferred second
+// call are lost, so call it explicitly when the profile matters).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mem profile: %w", err)
+				}
+				return firstErr
+			}
+			// Materialize a current picture of live heap objects: the
+			// allocation-free hot paths are only visible against up-to-date
+			// statistics.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

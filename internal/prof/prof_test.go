@@ -1,0 +1,79 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal("second stop must be a no-op, got", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := 0
+	buf := make([]byte, 1<<16)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal("stop not idempotent:", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartCPUOnly(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cpu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+		t.Fatal("expected error for unwritable cpu path")
+	}
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "x"))
+	if err != nil {
+		t.Fatal("mem path is only opened at stop time:", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("expected error for unwritable mem path at stop")
+	}
+}

@@ -1,0 +1,78 @@
+package incremental
+
+import (
+	"testing"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// allocGraph builds the steady-state workload for the allocation guards: big
+// enough that the event loop dominates, small enough to keep the guard fast.
+func allocGraph(t testing.TB) *model.Graph {
+	t.Helper()
+	p := gen.NewParams(8, 16)
+	p.Seed = 3
+	p.Cores, p.Banks = 8, 4
+	return gen.MustLayered(p)
+}
+
+// TestScheduleSteadyStateAllocationFree pins the tentpole's allocation
+// contract: after warm-up runs have grown every pooled buffer (state, result,
+// checkpoint store) to its high-water mark, repeated cold Schedule calls on
+// the same Scheduler perform zero heap allocations.
+func TestScheduleSteadyStateAllocationFree(t *testing.T) {
+	g := allocGraph(t)
+	sc := NewScheduler(g, sched.Options{})
+	// Two warm-ups: the first grows the buffers, the second runs with the
+	// steady-state stride derived from the first run's event count (a stride
+	// change reshapes which events land checkpoints, hence buffer sizes).
+	for i := 0; i < 2; i++ {
+		if _, err := sc.Schedule(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := sc.Schedule(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestRescheduleSteadyStateAllocationFree pins the same contract for the
+// neighborhood-evaluation cycle: swap, warm Reschedule, swap back. The edits
+// slice is prebuilt and passed via ... so the call itself does not allocate —
+// exactly how the explorer drives it.
+func TestRescheduleSteadyStateAllocationFree(t *testing.T) {
+	g := allocGraph(t)
+	sc := NewScheduler(g, sched.Options{})
+	if _, err := sc.Schedule(); err != nil {
+		t.Fatal(err)
+	}
+	sites := legalSwapSites(g)
+	if len(sites) == 0 {
+		t.Fatal("no legal swap sites")
+	}
+	site := sites[len(sites)/2]
+	core, pos := model.CoreID(site[0]), site[1]
+	edits := []Edit{{Core: core, From: pos}}
+	cycle := func() {
+		g.SwapOrder(core, pos)
+		if _, err := sc.Reschedule(edits...); err != nil {
+			t.Fatal(err)
+		}
+		g.SwapOrder(core, pos)
+		if _, err := sc.Reschedule(edits...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm-up: replay suffix may grow comp/terms high-water marks
+	avg := testing.AllocsPerRun(10, cycle)
+	if avg != 0 {
+		t.Fatalf("steady-state swap/Reschedule cycle allocates %.1f objects per run, want 0", avg)
+	}
+}

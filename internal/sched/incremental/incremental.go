@@ -69,6 +69,15 @@ type slot struct {
 	// the whole competitor set. Maintained only on the fast path; reset
 	// together with comp when a new task opens.
 	terms [][]model.Cycles
+	// compIdx[b][c] is the position in comp[b] of initiator core c's merged
+	// entry, or -1 when core c has no entry yet, so the fast path locates a
+	// growing competitor in O(1) instead of scanning comp[b]. Maintained
+	// only on the merged fast path; the uncached oracle keeps its linear
+	// scan so an index bug cannot hide in both sides of the differential
+	// tests. Invariant: compIdx[b][c] >= 0 exactly for the cores present in
+	// comp[b] (when maintained), so clearing walks the entries, not the
+	// whole core range.
+	compIdx [][]int32
 }
 
 type state struct {
@@ -91,8 +100,15 @@ type state struct {
 	minRels  []model.Cycles // sorted minimal release dates of tasks that have one
 	relPtr   int
 
+	t      model.Cycles // cursor: the event instant about to be processed
 	closed int
 	events int
+
+	// ckpt, when non-nil, is invoked at the top of every event iteration,
+	// before the event at the current cursor is processed. The warm-start
+	// Scheduler uses it to capture checkpoints at event boundaries; it is
+	// nil for one-shot runs and during replays.
+	ckpt func()
 
 	// scratch is the reusable one-element request slice of the additive
 	// fast path; keeping it in state avoids a heap allocation on every
@@ -119,18 +135,55 @@ func newState(g *model.Graph, opts sched.Options) *state {
 		scratch:  make([]arbiter.Request, 1),
 	}
 	for i := 0; i < n; i++ {
-		s.depsLeft[i] = len(g.Predecessors(model.TaskID(i)))
 		if m := g.Task(model.TaskID(i)).MinRelease; m > 0 {
 			s.minRels = append(s.minRels, m)
 		}
 	}
 	sort.Slice(s.minRels, func(i, j int) bool { return s.minRels[i] < s.minRels[j] })
 	for k := range s.slots {
-		s.slots[k].task = model.NoTask
 		s.slots[k].comp = make([][]arbiter.Request, g.Banks)
 		s.slots[k].terms = make([][]model.Cycles, g.Banks)
+		s.slots[k].compIdx = make([][]int32, g.Banks)
+		for b := range s.slots[k].compIdx {
+			s.slots[k].compIdx[b] = make([]int32, g.Cores)
+		}
 	}
+	s.reset()
 	return s
+}
+
+// reset rewinds the state to the initial instant (cursor 0, nothing closed,
+// nothing alive) without allocating: every buffer is truncated or zeroed in
+// place so that a pooled state can re-run — possibly after the graph's
+// execution orders were mutated — at zero steady-state allocation cost.
+// Min-release dates and dependency counts are order-independent, so they are
+// rebuilt from the graph without re-sorting.
+func (s *state) reset() {
+	n := s.g.NumTasks()
+	for i := 0; i < n; i++ {
+		s.depsLeft[i] = len(s.g.Predecessors(model.TaskID(i)))
+	}
+	for k := range s.headIdx {
+		s.headIdx[k] = 0
+	}
+	for k := range s.slots {
+		sl := &s.slots[k]
+		sl.task = model.NoTask
+		sl.finish = 0
+		for b := range sl.comp {
+			sl.comp[b] = sl.comp[b][:0]
+			sl.terms[b] = sl.terms[b][:0]
+			idx := sl.compIdx[b]
+			for c := range idx {
+				idx[c] = -1
+			}
+		}
+	}
+	s.relPtr = 0
+	s.t = 0
+	s.closed = 0
+	s.events = 0
+	s.res.Reset()
 }
 
 func (s *state) emit(kind sched.EventKind, t model.Cycles, task model.TaskID, value model.Cycles) {
@@ -141,7 +194,6 @@ func (s *state) emit(kind sched.EventKind, t model.Cycles, task model.TaskID, va
 
 func (s *state) run() (*sched.Result, error) {
 	n := s.g.NumTasks()
-	var t model.Cycles
 	for s.closed < n {
 		if s.cancel != nil {
 			select {
@@ -150,17 +202,24 @@ func (s *state) run() (*sched.Result, error) {
 			default:
 			}
 		}
+		// Checkpoint hook: the state right here — before the event at s.t
+		// is processed — is exactly what a warm restart needs to capture,
+		// because re-entering this loop with a restored state replays the
+		// event at s.t and everything after it with no special casing.
+		if s.ckpt != nil {
+			s.ckpt()
+		}
 		s.events++
-		s.emit(sched.EventCursor, t, model.NoTask, 0)
+		s.emit(sched.EventCursor, s.t, model.NoTask, 0)
 
 		// Step 1-2: close alive tasks ending at t and release dependents.
-		s.closeAt(t)
+		s.closeAt(s.t)
 
 		// Step 3-4: open ready heads of the per-core execution orders.
 		// Newly opened tasks immediately join the alive set, so several
 		// tasks opening at the same event see each other (step 5 pairing
 		// happens inside open).
-		s.openAt(t)
+		s.openAt(s.t)
 
 		if s.closed == n {
 			break
@@ -173,19 +232,19 @@ func (s *state) run() (*sched.Result, error) {
 				tNext = s.slots[k].finish
 			}
 		}
-		for s.relPtr < len(s.minRels) && s.minRels[s.relPtr] <= t {
+		for s.relPtr < len(s.minRels) && s.minRels[s.relPtr] <= s.t {
 			s.relPtr++
 		}
 		if s.relPtr < len(s.minRels) && s.minRels[s.relPtr] < tNext {
 			tNext = s.minRels[s.relPtr]
 		}
 		if tNext == model.Infinity {
-			return nil, sched.Deadlock(t, s.firstBlocked())
+			return nil, sched.Deadlock(s.t, s.firstBlocked())
 		}
 		if tNext > s.deadline {
 			return nil, sched.DeadlineExceeded(tNext)
 		}
-		t = tNext
+		s.t = tNext
 	}
 	s.res.Iterations = s.events
 	s.res.RecomputeMakespan()
@@ -237,6 +296,9 @@ func (s *state) openAt(t model.Cycles) {
 		s.res.Interference[id] = 0
 		sl.finish = t + task.WCET
 		for b := range sl.comp {
+			for _, r := range sl.comp[b] {
+				sl.compIdx[b][r.Core] = -1
+			}
 			sl.comp[b] = sl.comp[b][:0]
 			sl.terms[b] = sl.terms[b][:0]
 		}
@@ -301,17 +363,18 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 		return s.recomputeBank(sl, dstReq, b)
 	}
 
-	// Merged mode: grow the entry of src's core, or create it.
-	idx := -1
-	for i := range comps {
-		if comps[i].Core == src.Core {
-			idx = i
-			break
-		}
-	}
 	if !s.fast {
-		// Reference oracle: mutate the competitor set, then re-evaluate the
-		// full bound over it.
+		// Reference oracle: locate src's entry by linear scan (the index is
+		// a fast-path optimization; the oracle stays the dumb, obviously
+		// correct code the differential tests compare against), mutate the
+		// competitor set, then re-evaluate the full bound over it.
+		idx := -1
+		for i := range comps {
+			if comps[i].Core == src.Core {
+				idx = i
+				break
+			}
+		}
 		if idx >= 0 {
 			comps[idx].Demand += w
 		} else {
@@ -323,9 +386,12 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 	// terms[b] memoizes each entry's current term, so a growing entry costs
 	// one single-competitor evaluation plus a subtraction — O(1) per update
 	// instead of a rescan of the competitor set. This is the speed-up that
-	// the additivity property of Section II.C enables.
+	// the additivity property of Section II.C enables. compIdx finds the
+	// entry of src's core in O(1), replacing the former linear scan.
+	idx := int(sl.compIdx[b][src.Core])
 	if idx < 0 {
 		req := arbiter.Request{Core: src.Core, Demand: w}
+		sl.compIdx[b][src.Core] = int32(len(comps))
 		sl.comp[b] = append(comps, req)
 		term := arbiter.One(s.arb, dstReq, req, b, s.scratch)
 		sl.terms[b] = append(sl.terms[b], term)

@@ -1,0 +1,274 @@
+package incremental
+
+import (
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// Edit declares one divergence site between the graph's current execution
+// orders and the orders the Scheduler last committed with Schedule: core
+// Core's order may differ at positions From and later, and is guaranteed by
+// the caller to be unchanged at positions before From. An adjacent swap of
+// order positions p and p+1 on core k is Edit{Core: k, From: p}.
+type Edit struct {
+	Core model.CoreID
+	From int
+}
+
+// maxCheckpoints bounds the Scheduler's checkpoint store. When a run records
+// more, every other checkpoint is dropped and the recording stride doubles,
+// so memory stays O(maxCheckpoints · state size) while the replay distance
+// from the nearest checkpoint stays O(events / maxCheckpoints).
+const maxCheckpoints = 64
+
+// Scheduler is the warm-start façade over the incremental algorithm: a
+// reusable analysis engine bound to one graph and one option set that
+// snapshots its cursor state at event boundaries during full runs, and can
+// then re-analyze a mutated variant of the graph by restoring the latest
+// snapshot unaffected by the mutation and replaying only the suffix.
+//
+// The intended client is design-space exploration, where neighboring
+// candidates differ from the incumbent by a single adjacent swap in one
+// core's execution order: a cold analysis costs O(n²) while the replay of
+// the suffix behind the swapped position costs O(suffix²), which is the same
+// incremental-reuse idea that lets the paper's algorithm beat the global
+// fixed-point. Soundness is inherited from the monotonicity hypothesis
+// (Section II.C): the schedule prefix produced before the first event that
+// could observe the mutated order positions is *exact*, not approximate, so
+// a restored prefix plus a replayed suffix is bit-identical to a cold run
+// (enforced by the differential tests in warmstart_test.go).
+//
+// All buffers — working state, result, and checkpoints — are owned by the
+// Scheduler and reused across calls, so the steady-state event loop runs
+// allocation-free (pinned by an AllocsPerRun guard test). Consequently the
+// returned *sched.Result is overwritten by the next Schedule or Reschedule
+// call; callers that need to keep one must copy it. A Scheduler is not safe
+// for concurrent use; give each goroutine its own.
+//
+// Between calls the caller may mutate ONLY the graph's execution orders
+// (SetOrder/SwapOrder). Mutating tasks, edges, demands or the platform
+// invalidates the Scheduler; build a new one instead.
+type Scheduler struct {
+	g  *model.Graph
+	st *state
+
+	snaps  []snapshot // committed checkpoints, in cursor order
+	stride int        // record every stride-th event
+	tick   int        // event counter of the recording run
+
+	recording bool // checkpoint hook active (cold Schedule runs only)
+	base      bool // snaps describe g's orders as of the last Schedule
+
+	lastEvents int // event count of the last successful cold run
+}
+
+// NewScheduler builds a warm-start scheduler for g under opts. The graph is
+// captured by reference: Reschedule analyzes whatever orders g currently
+// holds.
+func NewScheduler(g *model.Graph, opts sched.Options) *Scheduler {
+	sc := &Scheduler{g: g, st: newState(g, opts), stride: 1}
+	sc.st.ckpt = sc.checkpoint
+	return sc
+}
+
+// Schedule analyzes the graph cold from t=0, rebuilding the checkpoint store
+// as it goes, and commits the graph's current execution orders as the
+// warm-start baseline for subsequent Reschedule calls. The returned Result
+// is owned by the Scheduler and valid only until the next call.
+func (sc *Scheduler) Schedule() (*sched.Result, error) {
+	sc.st.reset()
+	sc.snaps = sc.snaps[:0]
+	sc.tick = 0
+	// Size the stride from the previous run so a steady-state run records
+	// ~maxCheckpoints evenly spaced checkpoints instead of recording densely
+	// and compacting repeatedly.
+	if sc.lastEvents > 0 {
+		if stride := (sc.lastEvents + maxCheckpoints - 1) / maxCheckpoints; stride > 1 {
+			sc.stride = stride
+		}
+	}
+	sc.recording = true
+	res, err := sc.st.run()
+	sc.recording = false
+	sc.base = err == nil
+	if err == nil {
+		sc.lastEvents = sc.st.events
+	}
+	return res, err
+}
+
+// Reschedule re-analyzes the graph after its execution orders were mutated
+// at the given divergence sites, relative to the orders committed by the
+// last successful Schedule. It restores the latest checkpoint that provably
+// precedes every site's first possible influence on the schedule and replays
+// only the remaining events; when no checkpoint qualifies (a mutation at the
+// very front of an order), it falls back to a cold replay. Either way the
+// result is bit-identical to what Schedule would compute on the mutated
+// graph — only cheaper.
+//
+// The checkpoint store is never modified: after the caller undoes its
+// mutation (restoring the committed orders), further Reschedule calls
+// against the same baseline remain valid, which is exactly the
+// apply-evaluate-undo pattern of neighborhood search. An unschedulable
+// verdict for the mutated graph likewise leaves the baseline intact. If no
+// valid baseline exists (never scheduled, or the last cold run failed),
+// Reschedule behaves as Schedule, committing the current orders.
+func (sc *Scheduler) Reschedule(edits ...Edit) (*sched.Result, error) {
+	if !sc.base {
+		return sc.Schedule()
+	}
+	for i := len(sc.snaps) - 1; i >= 0; i-- {
+		if snapSafe(&sc.snaps[i], edits) {
+			sc.st.restore(&sc.snaps[i])
+			return sc.st.run()
+		}
+	}
+	sc.st.reset()
+	return sc.st.run()
+}
+
+// checkpoint is the state's event-boundary hook: during recording runs it
+// captures every stride-th event into the store, compacting (drop every
+// other checkpoint, double the stride) when the store outgrows its bound.
+func (sc *Scheduler) checkpoint() {
+	if !sc.recording {
+		return
+	}
+	if sc.tick%sc.stride == 0 {
+		sc.push().capture(sc.st)
+		if len(sc.snaps) > maxCheckpoints {
+			sc.compact()
+		}
+	}
+	sc.tick++
+}
+
+// push extends the checkpoint list by one entry, reviving the buffers of a
+// previously truncated entry when the backing array still holds one.
+func (sc *Scheduler) push() *snapshot {
+	if len(sc.snaps) < cap(sc.snaps) {
+		sc.snaps = sc.snaps[:len(sc.snaps)+1]
+	} else {
+		sc.snaps = append(sc.snaps, snapshot{})
+	}
+	return &sc.snaps[len(sc.snaps)-1]
+}
+
+// compact halves the checkpoint density in place: entry i takes the value of
+// entry 2i by swapping (not copying), so the displaced entries — and their
+// buffers — remain in the backing array beyond the new length for push to
+// revive.
+func (sc *Scheduler) compact() {
+	n := len(sc.snaps)
+	for i := 1; 2*i < n; i++ {
+		sc.snaps[i], sc.snaps[2*i] = sc.snaps[2*i], sc.snaps[i]
+	}
+	sc.snaps = sc.snaps[:(n+1)/2]
+	sc.stride *= 2
+}
+
+// snapSafe reports whether a checkpoint provably precedes any influence of
+// the given divergence sites on the schedule. Order position From of core
+// Core is first consulted when the core sits idle with its head index at
+// From, so the checkpoint is safe for that edit while the head index is
+// still below From, or equals From with the task at From-1 still alive (the
+// head has then never been consulted while the core was idle: consultation
+// only happens in openAt on idle cores, and the core has been busy since the
+// head index reached From). Head indices only grow and an idle core at From
+// stays idle until From opens, so safety is a prefix property over the run —
+// the latest safe checkpoint is the best restart point.
+func snapSafe(sn *snapshot, edits []Edit) bool {
+	for _, e := range edits {
+		h := sn.headIdx[e.Core]
+		if h > e.From || (h == e.From && sn.slots[e.Core].task == model.NoTask) {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot captures the complete mutable state of a run immediately before
+// the event at cursor t is processed: restoring it and re-entering the event
+// loop replays the event at t and everything after with no special casing.
+// All slices are full-length copies into buffers owned by the snapshot and
+// reused across captures.
+type snapshot struct {
+	t      model.Cycles
+	events int
+	closed int
+	relPtr int
+
+	headIdx  []int
+	depsLeft []int
+	slots    []slotSnap
+
+	release      []model.Cycles
+	interference []model.Cycles
+	response     []model.Cycles
+	perBank      []model.Cycles // flat task-major copy of Result.PerBank
+}
+
+// slotSnap is the deep copy of one core's slot. The competitor index is not
+// captured: it is derivable from comp and rebuilt on restore, which keeps
+// checkpoints O(entries) instead of O(cores·banks).
+type slotSnap struct {
+	task   model.TaskID
+	finish model.Cycles
+	comp   [][]arbiter.Request
+	terms  [][]model.Cycles
+}
+
+// capture deep-copies the state into the snapshot, reusing its buffers.
+func (sn *snapshot) capture(s *state) {
+	sn.t, sn.events, sn.closed, sn.relPtr = s.t, s.events, s.closed, s.relPtr
+	sn.headIdx = append(sn.headIdx[:0], s.headIdx...)
+	sn.depsLeft = append(sn.depsLeft[:0], s.depsLeft...)
+	if sn.slots == nil {
+		sn.slots = make([]slotSnap, len(s.slots))
+	}
+	for k := range s.slots {
+		sl, ss := &s.slots[k], &sn.slots[k]
+		ss.task, ss.finish = sl.task, sl.finish
+		if ss.comp == nil {
+			ss.comp = make([][]arbiter.Request, len(sl.comp))
+			ss.terms = make([][]model.Cycles, len(sl.terms))
+		}
+		for b := range sl.comp {
+			ss.comp[b] = append(ss.comp[b][:0], sl.comp[b]...)
+			ss.terms[b] = append(ss.terms[b][:0], sl.terms[b]...)
+		}
+	}
+	sn.release = append(sn.release[:0], s.res.Release...)
+	sn.interference = append(sn.interference[:0], s.res.Interference...)
+	sn.response = append(sn.response[:0], s.res.Response...)
+	sn.perBank = append(sn.perBank[:0], s.res.FlatPerBank()...)
+}
+
+// restore copies the snapshot back into the working state, rebuilding the
+// per-core competitor index from the restored competitor sets.
+func (s *state) restore(sn *snapshot) {
+	s.t, s.events, s.closed, s.relPtr = sn.t, sn.events, sn.closed, sn.relPtr
+	copy(s.headIdx, sn.headIdx)
+	copy(s.depsLeft, sn.depsLeft)
+	for k := range s.slots {
+		sl, ss := &s.slots[k], &sn.slots[k]
+		sl.task, sl.finish = ss.task, ss.finish
+		for b := range sl.comp {
+			for _, r := range sl.comp[b] {
+				sl.compIdx[b][r.Core] = -1
+			}
+			sl.comp[b] = append(sl.comp[b][:0], ss.comp[b]...)
+			sl.terms[b] = append(sl.terms[b][:0], ss.terms[b]...)
+			if s.fast && !s.separate {
+				for i, r := range sl.comp[b] {
+					sl.compIdx[b][r.Core] = int32(i)
+				}
+			}
+		}
+	}
+	copy(s.res.Release, sn.release)
+	copy(s.res.Interference, sn.interference)
+	copy(s.res.Response, sn.response)
+	copy(s.res.FlatPerBank(), sn.perBank)
+}

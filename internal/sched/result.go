@@ -34,12 +34,19 @@ type Result struct {
 	// scheduler, outer fixed-point rounds for the baseline. It feeds the
 	// complexity instrumentation in the benchmark harness.
 	Iterations int
+
+	// flat is the single backing array behind PerBank (task-major, banks
+	// per row), retained so that results built by NewResult can be copied
+	// and zeroed in one pass instead of row by row. It is nil for results
+	// assembled by hand.
+	flat []model.Cycles
 }
 
 // NewResult allocates a zeroed result for n tasks and b banks.
 func NewResult(algorithm string, n, banks int) *Result {
 	perBank := make([][]model.Cycles, n)
-	backing := make([]model.Cycles, n*banks)
+	flat := make([]model.Cycles, n*banks)
+	backing := flat
 	for i := range perBank {
 		perBank[i], backing = backing[:banks], backing[banks:]
 	}
@@ -49,7 +56,40 @@ func NewResult(algorithm string, n, banks int) *Result {
 		Interference: make([]model.Cycles, n),
 		Response:     make([]model.Cycles, n),
 		PerBank:      perBank,
+		flat:         flat,
 	}
+}
+
+// FlatPerBank returns the task-major backing array behind PerBank
+// (FlatPerBank()[i*banks+b] aliases PerBank[i][b]) when the result was built
+// by NewResult, nil otherwise. Schedulers use it to snapshot and restore the
+// whole per-bank matrix with a single copy; the rows of PerBank observe every
+// mutation made through it.
+func (r *Result) FlatPerBank() []model.Cycles { return r.flat }
+
+// Reset zeroes every per-task quantity and the aggregate fields in place,
+// keeping all buffers, so that a pooled Result can be reused across
+// scheduling runs without reallocation.
+func (r *Result) Reset() {
+	for i := range r.Release {
+		r.Release[i] = 0
+		r.Interference[i] = 0
+		r.Response[i] = 0
+	}
+	if r.flat != nil {
+		for i := range r.flat {
+			r.flat[i] = 0
+		}
+	} else {
+		for i := range r.PerBank {
+			row := r.PerBank[i]
+			for b := range row {
+				row[b] = 0
+			}
+		}
+	}
+	r.Makespan = 0
+	r.Iterations = 0
 }
 
 // Finish returns the completion date of task id: Release + Response.
