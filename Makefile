@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race fuzz-smoke bench-smoke ci clean
+.PHONY: all vet build test race fuzz-smoke bench-smoke serve-smoke ci clean
 
 all: build
 
@@ -39,7 +39,14 @@ bench-smoke:
 	$(GO) test ./internal/sched/incremental ./internal/explore -run '^$$' \
 	  -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
 
-ci: vet build race fuzz-smoke bench-smoke
+# End-to-end smoke check for the analysis service: builds the real miaserve
+# binary, boots it on an ephemeral port, round-trips analyze → reschedule
+# over HTTP, then sends SIGINT and requires a clean drain (exit 0). Behind a
+# build tag so `go test ./...` stays exec-free.
+serve-smoke:
+	$(GO) test -tags servesmoke -run TestServeSmoke -v ./cmd/miaserve
+
+ci: vet build race fuzz-smoke bench-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -21,14 +21,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // entry is one benchmark's pinned numbers. AllocsOp is a pointer so a
@@ -48,13 +51,18 @@ type baseline struct {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// benchdiff usually sits at the end of a pipe; SIGINT/SIGTERM abort the
+	// stdin read (which otherwise blocks forever on an interactive terminal)
+	// and exit nonzero instead of being ignored.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
 		basePath  = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
@@ -69,9 +77,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("threshold must exceed 1 (got %g)", *threshold)
 	}
 
-	measured, err := parseBench(stdin)
-	if err != nil {
-		return err
+	// Parse on a helper goroutine so a signal can interrupt a stdin read
+	// that would otherwise block forever (e.g. benchdiff run without a
+	// pipe). The reader goroutine is abandoned on cancellation; the process
+	// exits right after, so nothing leaks past main.
+	type parsed struct {
+		m   map[string]entry
+		err error
+	}
+	ch := make(chan parsed, 1)
+	go func() {
+		m, err := parseBench(stdin)
+		ch <- parsed{m, err}
+	}()
+	var measured map[string]entry
+	select {
+	case p := <-ch:
+		if p.err != nil {
+			return p.err
+		}
+		measured = p.m
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 	if len(measured) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin (want `go test -bench` output)")
@@ -104,37 +131,58 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressions := 0
+	regressions, drift := 0, 0
 	for _, name := range names {
 		m := measured[name]
 		b, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Fprintf(stdout, "note: %s not in baseline (run -update to pin it)\n", name)
+			// A measured benchmark the baseline does not pin is comparison
+			// drift, not a regression — but it must be visible in CI, not a
+			// stdout note nobody reads.
+			warn("%s: not in baseline — no comparison possible (run -update to pin it)", name)
+			drift++
 			continue
 		}
-		if b.NsOp > 0 && m.NsOp/b.NsOp > *threshold {
+		// A non-positive pinned time can only come from a corrupt or
+		// hand-edited baseline; dividing by it would turn every comparison
+		// into ±Inf/NaN, so flag the baseline instead of the measurement.
+		if b.NsOp <= 0 {
+			warn("%s: baseline pins %g ns/op (non-positive) — refresh the baseline with -update", name, b.NsOp)
+			drift++
+		} else if m.NsOp/b.NsOp > *threshold {
 			warn("%s: %.0f ns/op vs baseline %.0f ns/op (%.1fx > %.1fx threshold)",
 				name, m.NsOp, b.NsOp, m.NsOp/b.NsOp, *threshold)
 			regressions++
 		}
-		if b.AllocsOp != nil && m.AllocsOp != nil {
-			switch {
-			case *b.AllocsOp == 0 && *m.AllocsOp > 0:
-				// Allocation counts are deterministic: zero is a contract,
-				// not a measurement, so any alloc is a real regression.
-				warn("%s: %.0f allocs/op vs baseline 0 (allocation-free contract broken)",
-					name, *m.AllocsOp)
-				regressions++
-			case *b.AllocsOp > 0 && *m.AllocsOp / *b.AllocsOp > *threshold:
-				warn("%s: %.0f allocs/op vs baseline %.0f (%.1fx > %.1fx threshold)",
-					name, *m.AllocsOp, *b.AllocsOp, *m.AllocsOp / *b.AllocsOp, *threshold)
-				regressions++
-			}
+		switch {
+		case m.AllocsOp != nil && b.AllocsOp == nil:
+			warn("%s: measured %.0f allocs/op but baseline pins no allocation data (run -update with -benchmem)",
+				name, *m.AllocsOp)
+			drift++
+		case b.AllocsOp == nil || m.AllocsOp == nil:
+			// Baseline-only allocation data (input ran without -benchmem):
+			// nothing to compare.
+		case *b.AllocsOp == 0 && *m.AllocsOp > 0:
+			// Allocation counts are deterministic: zero is a contract,
+			// not a measurement, so any alloc is a real regression.
+			warn("%s: %.0f allocs/op vs baseline 0 (allocation-free contract broken)",
+				name, *m.AllocsOp)
+			regressions++
+		case *b.AllocsOp < 0:
+			warn("%s: baseline pins %g allocs/op (negative) — refresh the baseline with -update", name, *b.AllocsOp)
+			drift++
+		case *b.AllocsOp > 0 && *m.AllocsOp / *b.AllocsOp > *threshold:
+			warn("%s: %.0f allocs/op vs baseline %.0f (%.1fx > %.1fx threshold)",
+				name, *m.AllocsOp, *b.AllocsOp, *m.AllocsOp / *b.AllocsOp, *threshold)
+			regressions++
 		}
 	}
-	if regressions == 0 {
+	switch {
+	case regressions == 0 && drift == 0:
 		fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.1fx of baseline\n", len(names), *threshold)
-	} else {
+	case regressions == 0:
+		fmt.Fprintf(stdout, "benchdiff: no regressions, but %d benchmark(s) could not be fully compared — see warnings above\n", drift)
+	default:
 		fmt.Fprintf(stdout, "benchdiff: %d possible regression(s) — warnings only, see above (noise on shared runners is expected; re-run or refresh the baseline with -update if reproducible)\n", regressions)
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ func writeTempBaseline(t *testing.T, input string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(input), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path, "-update"}, strings.NewReader(input), &out); err != nil {
 		t.Fatalf("update: %v", err)
 	}
 	return path
@@ -51,7 +52,7 @@ func TestUpdateWritesBaseline(t *testing.T) {
 func TestCompareWithinThresholdIsQuiet(t *testing.T) {
 	path := writeTempBaseline(t, sampleBench)
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "WARN") {
@@ -67,7 +68,7 @@ func TestCompareWarnsButExitsZero(t *testing.T) {
 	slow := strings.Replace(sampleBench, "20000 ns/op", "90000 ns/op", 1)
 	var out bytes.Buffer
 	// A 4.5x time regression must warn yet still return nil (warn-don't-fail).
-	if err := run([]string{"-baseline", path}, strings.NewReader(slow), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(slow), &out); err != nil {
 		t.Fatalf("regression must not fail the run: %v", err)
 	}
 	if !strings.Contains(out.String(), "WARN") || !strings.Contains(out.String(), "4.5x") {
@@ -79,7 +80,7 @@ func TestCompareNoiseBelowThresholdIgnored(t *testing.T) {
 	path := writeTempBaseline(t, sampleBench)
 	noisy := strings.Replace(sampleBench, "20000 ns/op", "35000 ns/op", 1) // 1.75x < 2x
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path}, strings.NewReader(noisy), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(noisy), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "WARN") {
@@ -93,7 +94,7 @@ func TestZeroAllocContractWarnsOnAnyAlloc(t *testing.T) {
 		"5000	     20000 ns/op	       0 B/op	       0 allocs/op",
 		"5000	     20000 ns/op	      48 B/op	       1 allocs/op", 1)
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path}, strings.NewReader(leaky), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(leaky), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "allocation-free contract") {
@@ -105,7 +106,7 @@ func TestGitHubAnnotations(t *testing.T) {
 	path := writeTempBaseline(t, sampleBench)
 	slow := strings.Replace(sampleBench, "20000 ns/op", "90000 ns/op", 1)
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path, "-gha"}, strings.NewReader(slow), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path, "-gha"}, strings.NewReader(slow), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "::warning title=benchmark regression::") {
@@ -113,28 +114,104 @@ func TestGitHubAnnotations(t *testing.T) {
 	}
 }
 
-func TestUnknownBenchmarkIsNoted(t *testing.T) {
+func TestUnknownBenchmarkWarns(t *testing.T) {
 	path := writeTempBaseline(t, sampleBench)
 	extra := sampleBench + "BenchmarkNew/thing-8 	 100	 5000 ns/op\n"
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", path}, strings.NewReader(extra), &out); err != nil {
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(extra), &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "BenchmarkNew/thing not in baseline") {
-		t.Fatalf("missing note:\n%s", out.String())
+	if !strings.Contains(out.String(), "BenchmarkNew/thing: not in baseline") {
+		t.Fatalf("missing warning:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "could not be fully compared") {
+		t.Fatalf("missing drift summary:\n%s", out.String())
+	}
+}
+
+// TestDegenerateBaselines pins the hardened comparison paths: non-positive
+// pinned values and candidate-only metrics draw warn-annotations instead of
+// panicking, dividing into ±Inf, or passing silently. Every case must still
+// exit zero — benchdiff fails only on unreadable input.
+func TestDegenerateBaselines(t *testing.T) {
+	writeBaselineFile := func(t *testing.T, body string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	input := "BenchmarkX-8 	 100	 5000 ns/op	 10 allocs/op\n"
+	cases := []struct {
+		name     string
+		baseline string
+		input    string
+		want     string // substring that must appear in output
+		veto     string // substring that must NOT appear (empty = none)
+	}{
+		{
+			name:     "zero baseline ns/op",
+			baseline: `{"benchmarks":{"BenchmarkX":{"ns_op":0}}}`,
+			input:    input,
+			want:     "non-positive",
+			veto:     "Inf",
+		},
+		{
+			name:     "negative baseline ns/op",
+			baseline: `{"benchmarks":{"BenchmarkX":{"ns_op":-12}}}`,
+			input:    input,
+			want:     "non-positive",
+			veto:     "Inf",
+		},
+		{
+			name:     "allocs measured but not pinned",
+			baseline: `{"benchmarks":{"BenchmarkX":{"ns_op":5000}}}`,
+			input:    input,
+			want:     "no allocation data",
+		},
+		{
+			name:     "negative baseline allocs",
+			baseline: `{"benchmarks":{"BenchmarkX":{"ns_op":5000,"allocs_op":-3}}}`,
+			input:    input,
+			want:     "negative",
+			veto:     "Inf",
+		},
+		{
+			name:     "allocs pinned but not measured is fine",
+			baseline: `{"benchmarks":{"BenchmarkX":{"ns_op":5000,"allocs_op":10}}}`,
+			input:    "BenchmarkX-8 	 100	 5000 ns/op\n",
+			want:     "within 2.0x",
+			veto:     "WARN",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeBaselineFile(t, tc.baseline)
+			var out bytes.Buffer
+			if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(tc.input), &out); err != nil {
+				t.Fatalf("degenerate baseline must not fail the run: %v", err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("missing %q in output:\n%s", tc.want, out.String())
+			}
+			if tc.veto != "" && strings.Contains(out.String(), tc.veto) {
+				t.Errorf("output must not contain %q:\n%s", tc.veto, out.String())
+			}
+		})
 	}
 }
 
 func TestEmptyInputFails(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+	if err := run(context.Background(), []string{}, strings.NewReader("no benchmarks here\n"), &out); err == nil {
 		t.Fatal("empty input must fail (broken pipe upstream)")
 	}
 }
 
 func TestMissingBaselineFails(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
+	err := run(context.Background(), []string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
 		strings.NewReader(sampleBench), &out)
 	if err == nil {
 		t.Fatal("missing baseline must fail")
@@ -143,7 +220,7 @@ func TestMissingBaselineFails(t *testing.T) {
 
 func TestBadThresholdRejected(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-threshold", "0.5"}, strings.NewReader(sampleBench), &out); err == nil {
+	if err := run(context.Background(), []string{"-threshold", "0.5"}, strings.NewReader(sampleBench), &out); err == nil {
 		t.Fatal("threshold ≤ 1 must be rejected")
 	}
 }

@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/mia-rt/mia/internal/arbiter"
@@ -45,13 +47,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context; the sweep stops launching points,
+	// in-flight scheduler runs abort through their cancellation hook, partial
+	// CSV exports are flushed with a truncation marker, and the exit is
+	// nonzero. A second signal kills the process the hard way (NotifyContext
+	// restores the default handlers once canceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "miabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("miabench", flag.ContinueOnError)
 	var (
 		panels    = fs.String("panels", "", `comma-separated panel list (e.g. "LS4,NL64"); empty = all six`)
@@ -101,11 +110,11 @@ func run(args []string, stdout io.Writer) error {
 
 	switch {
 	case *headline:
-		return finish(runHeadline(stdout, base, progress))
+		return finish(runHeadline(ctx, stdout, base, progress))
 	case *scale:
-		return finish(runScale(stdout, base, *full, progress))
+		return finish(runScale(ctx, stdout, base, *full, progress))
 	case *agreement:
-		return finish(runAgreement(stdout, base))
+		return finish(runAgreement(ctx, stdout, base))
 	}
 
 	selected := map[string]bool{}
@@ -118,10 +127,13 @@ func run(args []string, stdout io.Writer) error {
 		if len(selected) > 0 && !selected[cfg.Name()] {
 			continue
 		}
-		panel, err := bench.RunPanel(cfg, []bench.Algorithm{bench.Incremental(), bench.Fixpoint()}, progress)
-		if err != nil {
-			return err
+		panel, runErr := bench.RunPanelContext(ctx, cfg, []bench.Algorithm{bench.Incremental(), bench.Fixpoint()}, progress)
+		if panel == nil {
+			return runErr
 		}
+		// A truncated panel (SIGINT mid-sweep) still gets written: the table
+		// and CSV carry explicit truncation markers, and the nonzero exit
+		// below keeps the interruption visible to scripts.
 		if err := panel.WriteTable(stdout); err != nil {
 			return err
 		}
@@ -148,6 +160,9 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+		}
+		if runErr != nil {
+			return fmt.Errorf("sweep interrupted: %w", runErr)
 		}
 	}
 	return finish(nil)
@@ -209,7 +224,7 @@ func figure3Configs(base bench.Config, full bool) []bench.Config {
 // runHeadline reproduces the two configurations the paper quotes (E5):
 // LS64 with 256 tasks (C++ 1121.79 s vs Python 4.13 s, 270×) and NL64 with
 // 384 tasks (C++ 535.24 s vs Python 0.90 s, 593×).
-func runHeadline(w io.Writer, base bench.Config, progress func(string)) error {
+func runHeadline(ctx context.Context, w io.Writer, base bench.Config, progress func(string)) error {
 	cases := []struct {
 		family string
 		fixed  int
@@ -224,7 +239,7 @@ func runHeadline(w io.Writer, base bench.Config, progress func(string)) error {
 	for _, c := range cases {
 		cfg := base
 		cfg.Family, cfg.Fixed, cfg.Sizes = c.family, c.fixed, []int{c.tasks}
-		panel, err := bench.RunPanel(cfg, []bench.Algorithm{bench.Incremental(), bench.Fixpoint()}, progress)
+		panel, err := bench.RunPanelContext(ctx, cfg, []bench.Algorithm{bench.Incremental(), bench.Fixpoint()}, progress)
 		if err != nil {
 			return err
 		}
@@ -244,7 +259,7 @@ func runHeadline(w io.Writer, base bench.Config, progress func(string)) error {
 
 // runScale demonstrates the conclusion's claim: the incremental algorithm
 // handles more than 8000 tasks in reasonable time (E6).
-func runScale(w io.Writer, base bench.Config, full bool, progress func(string)) error {
+func runScale(ctx context.Context, w io.Writer, base bench.Config, full bool, progress func(string)) error {
 	cfg := base
 	cfg.Family, cfg.Fixed = "LS", 64
 	cfg.Sizes = []int{1024, 2048, 4096, 8192}
@@ -252,13 +267,16 @@ func runScale(w io.Writer, base bench.Config, full bool, progress func(string)) 
 		cfg.Sizes = append(cfg.Sizes, 16384, 32768)
 	}
 	cfg.Timeout = 0 // the point is to finish
-	panel, err := bench.RunPanel(cfg, []bench.Algorithm{bench.Incremental()}, progress)
-	if err != nil {
-		return err
+	panel, runErr := bench.RunPanelContext(ctx, cfg, []bench.Algorithm{bench.Incremental()}, progress)
+	if panel == nil {
+		return runErr
 	}
 	fmt.Fprintln(w, "# Scalability (paper §VI: \"more than 8000 tasks while maintaining a reasonable execution time\")")
 	if err := panel.WriteTable(w); err != nil {
 		return err
+	}
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted: %w", runErr)
 	}
 	return nil
 }
@@ -268,12 +286,12 @@ func runScale(w io.Writer, base bench.Config, full bool, progress func(string)) 
 // fixed points). Instances are independent, so they are compared on the
 // worker pool; the tallies are reduced in submission order and the reported
 // statistics do not depend on the jobs level.
-func runAgreement(w io.Writer, base bench.Config) error {
+func runAgreement(ctx context.Context, w io.Writer, base bench.Config) error {
 	configs := []struct{ layers, size int }{{4, 8}, {8, 4}, {6, 16}, {16, 4}}
 	const seeds = 25
 	type tally struct{ identical, tasks, agree int }
-	tallies, err := pool.Map(context.Background(), base.Jobs, len(configs)*seeds,
-		func(_ context.Context, i int) (tally, error) {
+	tallies, err := pool.Map(ctx, base.Jobs, len(configs)*seeds,
+		func(ctx context.Context, i int) (tally, error) {
 			c := configs[i/seeds]
 			p := gen.NewParams(c.layers, c.size)
 			p.Seed = int64(i%seeds) + 1
@@ -282,7 +300,7 @@ func runAgreement(w io.Writer, base bench.Config) error {
 			if err != nil {
 				return tally{}, err
 			}
-			opts := sched.Options{Arbiter: base.Arbiter}
+			opts := sched.Options{Arbiter: base.Arbiter, Cancel: ctx.Done()}
 			fast, err := incremental.Schedule(g, opts)
 			if err != nil {
 				return tally{}, err

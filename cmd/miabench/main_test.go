@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ func TestPanelsQuickSubset(t *testing.T) {
 	var buf bytes.Buffer
 	// A tiny custom subset through the real flag path: restrict to LS4 and
 	// lean on the quick sizes but with a small platform via flags.
-	err := run([]string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4", "-timeout", "30s"}, &buf)
+	err := run(context.Background(), []string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4", "-timeout", "30s"}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -29,7 +30,7 @@ func TestPanelsQuickSubset(t *testing.T) {
 
 func TestHeadlineMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-q", "-headline", "-timeout", "120s"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-q", "-headline", "-timeout", "120s"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -42,7 +43,7 @@ func TestHeadlineMode(t *testing.T) {
 
 func TestAgreementMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-q", "-agreement", "-cores", "4", "-banks", "4"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-q", "-agreement", "-cores", "4", "-banks", "4"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "identical schedules:") {
@@ -55,7 +56,7 @@ func TestScaleMode(t *testing.T) {
 		t.Skip("scale experiment in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-q", "-scale"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-q", "-scale"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "8192") {
@@ -64,14 +65,14 @@ func TestScaleMode(t *testing.T) {
 }
 
 func TestBadFlags(t *testing.T) {
-	if err := run([]string{"-panels", "LS4", "-cores", "-3"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-panels", "LS4", "-cores", "-3"}, &bytes.Buffer{}); err == nil {
 		t.Error("negative cores accepted")
 	}
 }
 
 func TestDataAndSVGOutputs(t *testing.T) {
 	dir := t.TempDir()
-	err := run([]string{"-q", "-panels", "NL4", "-cores", "4", "-banks", "4",
+	err := run(context.Background(), []string{"-q", "-panels", "NL4", "-cores", "4", "-banks", "4",
 		"-timeout", "30s", "-data", dir + "/data", "-svg", dir + "/svg"}, &bytes.Buffer{})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -95,7 +96,7 @@ func TestDataAndSVGOutputs(t *testing.T) {
 func TestReportOutput(t *testing.T) {
 	dir := t.TempDir()
 	report := filepath.Join(dir, "report.md")
-	err := run([]string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4",
+	err := run(context.Background(), []string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4",
 		"-timeout", "30s", "-report", report}, &bytes.Buffer{})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -116,7 +117,7 @@ func TestProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var buf bytes.Buffer
-	err := run([]string{"-q", "-panels", "LS4", "-cores", "2", "-banks", "2",
+	err := run(context.Background(), []string{"-q", "-panels", "LS4", "-cores", "2", "-banks", "2",
 		"-cpuprofile", cpu, "-memprofile", mem}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -129,5 +130,34 @@ func TestProfileFlags(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("%s is empty", p)
 		}
+	}
+}
+
+// TestInterruptedSweepFlushesTruncatedCSV pins the SIGINT contract end to
+// end at the run() level: a canceled context exits nonzero AND still flushes
+// the panel CSV with an explicit truncation marker, so partial sweeps leave
+// valid, honestly-labeled artifacts behind.
+func TestInterruptedSweepFlushesTruncatedCSV(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // what the signal handler does
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-q", "-panels", "LS4", "-cores", "4", "-banks", "4",
+		"-jobs", "2", "-data", dir}, &buf)
+	if err == nil {
+		t.Fatal("interrupted run must exit nonzero")
+	}
+	if !strings.Contains(buf.String(), "TRUNCATED") {
+		t.Errorf("stdout table missing truncation marker:\n%s", buf.String())
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, "LS4.csv"))
+	if rerr != nil {
+		t.Fatalf("partial CSV was not flushed: %v", rerr)
+	}
+	if !strings.Contains(string(data), "# TRUNCATED") {
+		t.Errorf("partial CSV missing truncation marker:\n%s", data)
+	}
+	if !strings.Contains(string(data), "skipped") {
+		t.Errorf("unmeasured points should be recorded as skipped:\n%s", data)
 	}
 }

@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/dataflow"
@@ -33,13 +36,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM abort the interference analysis through the
+	// scheduler's cancellation hook; the pipeline exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "miaflow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("miaflow", flag.ContinueOnError)
 	var (
 		cores      = fs.Int("cores", 4, "platform cores")
@@ -116,7 +123,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "unrolled %d periods of %d cycles: %d jobs\n", nIter, *period, mg.NumTasks())
 	}
 
-	opts := sched.Options{Arbiter: arbiter.NewRoundRobin(model.Cycles(*latency))}
+	opts := sched.Options{Arbiter: arbiter.NewRoundRobin(model.Cycles(*latency)), Cancel: ctx.Done()}
 	res, err := incremental.Schedule(mg, opts)
 	if err != nil {
 		return err

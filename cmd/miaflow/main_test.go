@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestBuiltinExample(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "src-fir-dec"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "src-fir-dec"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -28,7 +29,7 @@ func TestBuiltinExample(t *testing.T) {
 
 func TestPeriodicPipeline(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "src-fir-dec", "-period", "800", "-iterations", "3"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "src-fir-dec", "-period", "800", "-iterations", "3"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "steady-state slack") {
@@ -39,7 +40,7 @@ func TestPeriodicPipeline(t *testing.T) {
 func TestPeriodOverrunReported(t *testing.T) {
 	var buf bytes.Buffer
 	// Period far below the iteration makespan (~460 cycles on 4 cores).
-	if err := run([]string{"-example", "src-fir-dec", "-period", "100", "-iterations", "3"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "src-fir-dec", "-period", "100", "-iterations", "3"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "PERIOD OVERRUN") {
@@ -61,7 +62,7 @@ func TestFromJSONFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-cores", "2", "-banks", "2", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-cores", "2", "-banks", "2", path}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "repetition vector [3 2]") {
@@ -72,7 +73,7 @@ func TestFromJSONFile(t *testing.T) {
 func TestStrategies(t *testing.T) {
 	for _, s := range []string{"cyclic", "balance", "list"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-strategy", s, "-example", "src-fir-dec", "-nosim"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-strategy", s, "-example", "src-fir-dec", "-nosim"}, &buf); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -86,7 +87,7 @@ func TestErrors(t *testing.T) {
 		{"/nonexistent.json"},                             // missing file
 	}
 	for _, args := range cases {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -98,7 +99,7 @@ func TestErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{path}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+	if err := run(context.Background(), []string{path}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "inconsistent") {
 		t.Errorf("inconsistent SDF: err = %v", err)
 	}
 }

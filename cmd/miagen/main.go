@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/mapper"
@@ -23,13 +26,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop generation before the output file is (over)written,
+	// so an interrupted run never leaves a half-written graph behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "miagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("miagen", flag.ContinueOnError)
 	var (
 		layers    = fs.Int("layers", 0, "number of layers")
@@ -122,6 +129,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err // interrupted during generation: write nothing
+	}
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)

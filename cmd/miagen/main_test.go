@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestGenerateToStdout(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-layers", "3", "-layersize", "4", "-cores", "4", "-banks", "4", "-seed", "7"}, &buf)
+	err := run(context.Background(), []string{"-layers", "3", "-layersize", "4", "-cores", "4", "-banks", "4", "-seed", "7"}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -29,7 +30,7 @@ func TestGenerateFamilyToFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "g.json")
 	dot := filepath.Join(dir, "g.dot")
-	err := run([]string{"-family", "NL", "-fixed", "4", "-tasks", "32", "-o", out, "-dot", dot}, nil)
+	err := run(context.Background(), []string{"-family", "NL", "-fixed", "4", "-tasks", "32", "-o", out, "-dot", dot}, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestGenerateFamilyToFile(t *testing.T) {
 func TestGenerateExamples(t *testing.T) {
 	for _, name := range []string{"figure1", "figure2", "avionics"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-example", name}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-example", name}, &buf); err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
 		}
@@ -74,7 +75,7 @@ func TestGenerateErrors(t *testing.T) {
 		{"-layers", "2", "-layersize", "2", "-cores", "0"}, // bad platform
 	}
 	for _, args := range cases {
-		if err := run(args, nil); err == nil {
+		if err := run(context.Background(), args, nil); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -89,7 +90,7 @@ func TestSTGImportExport(t *testing.T) {
 	}
 	jsonOut := filepath.Join(dir, "g.json")
 	stgOut := filepath.Join(dir, "out.stg")
-	if err := run([]string{"-fromstg", stgIn, "-cores", "2", "-banks", "2", "-o", jsonOut, "-stg", stgOut}, nil); err != nil {
+	if err := run(context.Background(), []string{"-fromstg", stgIn, "-cores", "2", "-banks", "2", "-o", jsonOut, "-stg", stgOut}, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(jsonOut)

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/gen"
@@ -30,13 +33,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the analysis through the scheduler's
+	// cancellation hook, so even a pathological instance exits promptly and
+	// nonzero instead of ignoring the signal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "miasched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("miasched", flag.ContinueOnError)
 	var (
 		algo      = fs.String("algo", "incremental", `scheduler: "incremental" (O(n²), the paper's contribution) or "fixpoint" (O(n⁴) baseline)`)
@@ -112,6 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		Deadline:            model.Cycles(*deadline),
 		SeparateCompetitors: *separate,
 		DisableFastPath:     *oracle,
+		Cancel:              ctx.Done(),
 	}
 	var rec trace.Recorder
 	if *events || *partition >= 0 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestScheduleFigure1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "figure1", "-gantt", "60"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "figure1", "-gantt", "60"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -23,7 +24,7 @@ func TestScheduleFigure1(t *testing.T) {
 
 func TestScheduleFixpoint(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-algo", "fixpoint", "-example", "figure1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-algo", "fixpoint", "-example", "figure1"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "fixpoint") {
@@ -47,7 +48,7 @@ func TestScheduleFromFile(t *testing.T) {
 	}
 	csvPath := filepath.Join(dir, "out.csv")
 	var buf bytes.Buffer
-	if err := run([]string{"-csv", csvPath, path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-csv", csvPath, path}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	csv, err := os.ReadFile(csvPath)
@@ -61,7 +62,7 @@ func TestScheduleFromFile(t *testing.T) {
 
 func TestScheduleEventsAndPartition(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "figure2", "-events", "-partition", "5"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "figure2", "-events", "-partition", "5"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -76,14 +77,14 @@ func TestScheduleEventsAndPartition(t *testing.T) {
 func TestScheduleArbiters(t *testing.T) {
 	for _, arb := range []string{"rr", "hier-rr", "tdm", "fp", "none"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-arbiter", arb, "-example", "avionics"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-arbiter", arb, "-example", "avionics"}, &buf); err != nil {
 			t.Errorf("%s: %v", arb, err)
 		}
 	}
 }
 
 func TestScheduleUnschedulable(t *testing.T) {
-	if err := run([]string{"-example", "figure1", "-deadline", "3"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-example", "figure1", "-deadline", "3"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("impossible deadline accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestScheduleErrors(t *testing.T) {
 		{"/nonexistent/graph.json"},                             // missing file
 	}
 	for _, args := range cases {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -107,7 +108,7 @@ func TestScheduleErrors(t *testing.T) {
 func TestScheduleSVGGantt(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "fig1.svg")
-	if err := run([]string{"-example", "figure1", "-svg", path}, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-example", "figure1", "-svg", path}, &bytes.Buffer{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	svg, err := os.ReadFile(path)
@@ -123,14 +124,14 @@ func TestScheduleSVGGantt(t *testing.T) {
 
 func TestCriticalityFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "figure1", "-deadline", "10", "-criticality"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "figure1", "-deadline", "10", "-criticality"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "per-task WCET slack") || !strings.Contains(out, "n3") {
 		t.Errorf("output:\n%s", out)
 	}
-	if err := run([]string{"-example", "figure1", "-criticality"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-example", "figure1", "-criticality"}, &bytes.Buffer{}); err == nil {
 		t.Error("criticality without deadline accepted")
 	}
 }
@@ -140,7 +141,7 @@ func TestProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var buf bytes.Buffer
-	if err := run([]string{"-example", "avionics", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-example", "avionics", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -156,7 +157,7 @@ func TestProfileFlags(t *testing.T) {
 
 func TestProfileFlagBadPath(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-example", "figure1", "-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "x")}, &buf)
+	err := run(context.Background(), []string{"-example", "figure1", "-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "x")}, &buf)
 	if err == nil {
 		t.Fatal("expected error for unwritable profile path")
 	}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mia-rt/mia/internal/gen"
+)
+
+// syncBuffer is a race-safe io.Writer: run() writes from the test goroutine
+// and the server goroutine while the test polls for the listening line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://\S+)`)
+
+// TestRunServesAndDrainsOnCancel drives the full service lifecycle in
+// process: boot on an ephemeral port, analyze, reschedule against the
+// returned hash, then cancel the context (the signal path) and require a
+// clean drain.
+func TestRunServesAndDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1"}, &out) }()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never printed its listening line; output: %q", out.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var graph bytes.Buffer
+	if err := gen.Figure2().WriteJSON(&graph); err != nil {
+		t.Fatalf("serializing graph: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(graph.Bytes()))
+	if err != nil {
+		t.Fatalf("analyze request: %v", err)
+	}
+	var analyzed struct {
+		Hash string `json:"hash"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&analyzed)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || analyzed.Hash == "" {
+		t.Fatalf("analyze: status %d, hash %q, err %v", resp.StatusCode, analyzed.Hash, err)
+	}
+
+	body := fmt.Sprintf(`{"hash":%q,"swaps":[{"core":2,"pos":0}]}`, analyzed.Hash)
+	resp, err = http.Post(base+"/v1/reschedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("reschedule request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reschedule: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Mia-Cache"); got != "hit" {
+		t.Errorf("reschedule X-Mia-Cache = %q, want \"hit\" (single worker, freshly analyzed)", got)
+	}
+
+	cancel() // what SIGINT/SIGTERM does via signal.NotifyContext
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run did not return after cancel; output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "clean shutdown") {
+		t.Errorf("missing clean-shutdown notice in output: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-addr"}, &out); err == nil {
+		t.Error("run with dangling -addr should fail")
+	}
+	if err := run(context.Background(), []string{"-arbiter", "nonsense"}, &out); err == nil {
+		t.Error("run with unknown arbiter should fail")
+	}
+}

@@ -1,0 +1,123 @@
+//go:build servesmoke
+
+package main
+
+// The serve-smoke test (make serve-smoke) exercises the real binary the way
+// an operator would: build it, boot it, run an analyze→reschedule round trip
+// over TCP, send SIGINT, and require a clean drain with exit code 0. It sits
+// behind the servesmoke build tag because it compiles and execs a binary —
+// too heavy for the inner unit-test loop, but wired into CI.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mia-rt/mia/internal/gen"
+)
+
+func TestServeSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "miaserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building miaserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1")
+	var out syncOutput
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting miaserve: %v", err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean exit
+
+	base := waitListening(t, &out)
+
+	var graph bytes.Buffer
+	if err := gen.Figure2().WriteJSON(&graph); err != nil {
+		t.Fatalf("serializing graph: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", &graph)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	hashBody := new(bytes.Buffer)
+	hashBody.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d body %s", resp.StatusCode, hashBody)
+	}
+	m := regexp.MustCompile(`"hash":"([0-9a-f]+)"`).FindStringSubmatch(hashBody.String())
+	if m == nil {
+		t.Fatalf("analyze response has no hash: %s", hashBody)
+	}
+
+	resp, err = http.Post(base+"/v1/reschedule", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"hash":%q,"swaps":[{"core":2,"pos":0}]}`, m[1])))
+	if err != nil {
+		t.Fatalf("reschedule: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reschedule: status %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("miaserve exited with %v, want code 0; output: %s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("miaserve did not exit after SIGINT; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "clean shutdown") {
+		t.Errorf("missing clean-shutdown notice; output: %s", out.String())
+	}
+}
+
+func waitListening(t *testing.T, out *syncOutput) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (http://\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("miaserve never printed its listening line; output: %s", out.String())
+	return ""
+}
+
+// syncOutput mirrors syncBuffer but lives behind the build tag with its own
+// name so the two files can compile together.
+type syncOutput struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncOutput) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncOutput) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -152,6 +152,11 @@ type Series struct {
 type Panel struct {
 	Config Config
 	Series []Series
+	// Truncated marks a panel whose sweep was canceled before every point
+	// ran: the measured points are valid, the rest are Skipped, and the
+	// exports carry an explicit truncation marker so a partial CSV can never
+	// be mistaken for a completed sweep.
+	Truncated bool
 }
 
 // RunPanel sweeps every algorithm over the panel's sizes. progress, when
@@ -162,7 +167,10 @@ func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, err
 
 // RunPanelContext is RunPanel with caller-controlled cancellation: canceling
 // ctx aborts in-flight scheduler runs (through their Options.Cancel hook)
-// and stops launching further points.
+// and stops launching further points. On cancellation the context error is
+// returned together with a non-nil partial panel (Truncated set, unmeasured
+// points Skipped), so callers can flush what was measured before exiting
+// nonzero. Any other error returns a nil panel.
 //
 // When cfg.Jobs > 1 the (algorithm, size) points are measured concurrently
 // on a bounded worker pool. The sweep's deterministic outputs — statuses,
@@ -209,7 +217,7 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 	}
 
 	nSizes := len(cfg.Sizes)
-	points, err := pool.Map(ctx, cfg.Jobs, len(algos)*nSizes, func(ctx context.Context, i int) (Point, error) {
+	points, runErr := pool.Map(ctx, cfg.Jobs, len(algos)*nSizes, func(ctx context.Context, i int) (Point, error) {
 		algo, size := algos[i/nSizes], cfg.Sizes[i%nSizes]
 		if int64(size) > deadBelow[i/nSizes].Load() {
 			say("%s %s n=%d: skipped (timed out earlier)", cfg.Name(), algo.Name, size)
@@ -232,16 +240,26 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 		}
 		return pt, nil
 	})
-	if err != nil {
-		return nil, err
+	// A canceled sweep still yields its completed measurements: pool.Map
+	// fills results in submission order and leaves unstarted points zeroed,
+	// so the panel is assembled either way and the context error is returned
+	// alongside it, with Truncated set. Task errors still abort panel-less.
+	canceled := runErr != nil && errors.Is(runErr, ctx.Err())
+	if runErr != nil && !canceled {
+		return nil, runErr
 	}
 
-	panel := &Panel{Config: cfg}
+	panel := &Panel{Config: cfg, Truncated: canceled}
 	for a, algo := range algos {
 		series := Series{Algorithm: algo.Name}
 		dead := false // timed out at a smaller size: discard the rest
 		for s, size := range cfg.Sizes {
 			pt := points[a*nSizes+s]
+			if pt.Tasks == 0 {
+				// Never launched (the sweep was canceled first): a measured
+				// point always carries its size.
+				pt = Point{Tasks: size, Skipped: true}
+			}
 			if dead {
 				pt = Point{Tasks: size, Skipped: true}
 			} else if pt.TimedOut {
@@ -262,7 +280,7 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 		}
 		panel.Series = append(panel.Series, series)
 	}
-	return panel, nil
+	return panel, runErr
 }
 
 // measure times one algorithm on one graph, best of repeats, honoring the
@@ -363,6 +381,9 @@ func (p *Panel) WriteTable(w io.Writer) error {
 			fmt.Fprintf(w, "fit %-12s (not enough points)\n", s.Algorithm)
 		}
 	}
+	if p.Truncated {
+		fmt.Fprintln(w, "TRUNCATED: sweep interrupted before completion")
+	}
 	return nil
 }
 
@@ -387,6 +408,12 @@ func (p *Panel) WriteCSV(w io.Writer) error {
 				p.Config.Name(), s.Algorithm, pt.Tasks, secs, status); err != nil {
 				return err
 			}
+		}
+	}
+	if p.Truncated {
+		// Explicit marker: a partial export must not pass for a full sweep.
+		if _, err := fmt.Fprintln(w, "# TRUNCATED: sweep interrupted before completion; skipped rows were not measured"); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -256,5 +258,83 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "NL4,incremental,16,") || !strings.HasSuffix(lines[1], ",ok") {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// TestRunPanelContextCancellation pins the truncation contract: canceling
+// mid-sweep returns the context error together with a partial panel whose
+// measured points survive, whose unmeasured points are Skipped, and whose
+// exports carry explicit truncation markers.
+func TestRunPanelContextCancellation(t *testing.T) {
+	cfg := Config{
+		Family: "LS", Fixed: 4,
+		Sizes: []int{16, 32, 64},
+		Cores: 4, Banks: 4,
+		Seed: 1,
+		Jobs: 1, // sequential: cancellation after point 1 is deterministic
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	panel, err := RunPanelContext(ctx, cfg, []Algorithm{Incremental()},
+		func(string) { cancel() }) // fires after the first measurement
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if panel == nil || !panel.Truncated {
+		t.Fatalf("canceled sweep must return a truncated panel, got %+v", panel)
+	}
+	pts := panel.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	if pts[0].Skipped || pts[0].Makespan <= 0 {
+		t.Errorf("first point must be a completed measurement, got %+v", pts[0])
+	}
+	for _, pt := range pts[1:] {
+		if !pt.Skipped {
+			t.Errorf("unmeasured point n=%d must be Skipped, got %+v", pt.Tasks, pt)
+		}
+		if pt.Tasks == 0 {
+			t.Errorf("skipped point lost its size: %+v", pt)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := panel.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "# TRUNCATED") {
+		t.Errorf("partial CSV missing truncation marker:\n%s", csv.String())
+	}
+	var table bytes.Buffer
+	if err := panel.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "TRUNCATED") {
+		t.Errorf("partial table missing truncation marker:\n%s", table.String())
+	}
+	var md bytes.Buffer
+	if err := panel.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "TRUNCATED") {
+		t.Errorf("partial markdown missing truncation marker:\n%s", md.String())
+	}
+}
+
+// TestRunPanelContextPreCanceled: a context dead on arrival yields a fully
+// skipped truncated panel and the context error — never a nil-panel surprise.
+func TestRunPanelContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Family: "LS", Fixed: 4, Sizes: []int{16}, Cores: 4, Banks: 4}
+	panel, err := RunPanelContext(ctx, cfg, []Algorithm{Incremental()}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if panel == nil || !panel.Truncated {
+		t.Fatalf("want truncated panel, got %+v", panel)
+	}
+	if pt := panel.Series[0].Points[0]; !pt.Skipped || pt.Tasks != 16 {
+		t.Errorf("pre-canceled point = %+v, want Skipped with size 16", pt)
 	}
 }

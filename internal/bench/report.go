@@ -65,6 +65,9 @@ func (p *Panel) WriteMarkdown(w io.Writer) error {
 			fmt.Fprintf(w, "- fit `%s`: not enough usable points\n", s.Algorithm)
 		}
 	}
+	if p.Truncated {
+		fmt.Fprintln(w, "- **TRUNCATED**: sweep interrupted before completion")
+	}
 	fmt.Fprintln(w)
 	return nil
 }

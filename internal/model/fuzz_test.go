@@ -28,6 +28,14 @@ func FuzzReadJSON(f *testing.F) {
 		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[],"bankPolicy":"no-such-policy"}`,
 		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[{"from":0,"to":0,"words":1}]}`,
 		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":0}],"edges":[{"from":-1,"to":0,"words":1}]}`,
+		// Overflow guards: huge-but-finite magnitudes (2^40+1, past
+		// model.MaxInput) must be rejected, not accumulated into int64
+		// overflow; the value exactly at the bound is legal.
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1099511627777,"core":0}],"edges":[]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0,"minRelease":1099511627777}],"edges":[]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1,"core":0,"local":1099511627777}],"edges":[]}`,
+		`{"cores":2,"banks":2,"tasks":[{"id":0,"wcet":1,"core":0},{"id":1,"wcet":1,"core":1}],"edges":[{"from":0,"to":1,"words":1099511627777}]}`,
+		`{"cores":1,"banks":1,"tasks":[{"id":0,"wcet":1099511627776,"core":0}],"edges":[]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

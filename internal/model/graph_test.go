@@ -109,6 +109,52 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	})
 }
 
+// TestValidateRejectsOverflowMagnitudes pins the MaxInput overflow guard:
+// huge-but-finite magnitudes (which JSON can carry even though NaN/Inf
+// cannot) must be rejected before the schedulers accumulate them into int64
+// overflow. Values exactly at the bound stay legal.
+func TestValidateRejectsOverflowMagnitudes(t *testing.T) {
+	fresh := func(t *testing.T) *Graph { return twoCoreGraph(t, 2, BankPerCore) }
+	over := Cycles(MaxInput) + 1
+
+	t.Run("wcet", func(t *testing.T) {
+		g := fresh(t)
+		g.tasks[0].WCET = over
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "MaxInput") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("min release", func(t *testing.T) {
+		g := fresh(t)
+		g.tasks[0].MinRelease = over
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "MaxInput") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("demand", func(t *testing.T) {
+		g := fresh(t)
+		g.tasks[0].Demand[0] = Accesses(MaxInput) + 1
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "MaxInput") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("edge volume", func(t *testing.T) {
+		g := fresh(t)
+		g.edges[0].Words = Accesses(MaxInput) + 1
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "MaxInput") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("at the bound is legal", func(t *testing.T) {
+		g := fresh(t)
+		g.tasks[0].WCET = MaxInput
+		g.tasks[0].MinRelease = MaxInput
+		if err := g.Validate(); err != nil {
+			t.Fatalf("MaxInput itself must validate: %v", err)
+		}
+	})
+}
+
 func TestBankOfDefault(t *testing.T) {
 	g := &Graph{Cores: 2, Banks: 2}
 	if g.BankOf(1) != 0 {

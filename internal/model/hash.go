@@ -1,0 +1,72 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// fingerprintVersion is folded into every fingerprint so the hash changes
+// whenever the canonical serialization below changes shape. Bump it when
+// adding or reordering fields.
+const fingerprintVersion = 1
+
+// Fingerprint returns the canonical content hash of the graph: a hex-encoded
+// SHA-256 over the platform shape, every task's scheduling-relevant fields
+// (WCET, core, minimal release, compiled per-bank demand), the dependency
+// edges with their volumes, the per-core execution orders, and the core→bank
+// assignment. Two graphs with equal fingerprints are indistinguishable to
+// every scheduler in this repository — same inputs, same analysis, same
+// Result — which is what lets the analysis service key warm scheduler
+// checkpoints and cached parsed graphs by fingerprint alone.
+//
+// Task names are deliberately excluded (they are diagnostics, not inputs),
+// as is everything derivable from the hashed fields (adjacency, stats).
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	putInt(h, fingerprintVersion)
+	putInt(h, int64(g.Cores))
+	putInt(h, int64(g.Banks))
+
+	putInt(h, int64(len(g.tasks)))
+	for _, t := range g.tasks {
+		putInt(h, int64(t.WCET))
+		putInt(h, int64(t.Core))
+		putInt(h, int64(t.MinRelease))
+		putInt(h, int64(t.Local))
+		putInt(h, int64(len(t.Demand)))
+		for _, d := range t.Demand {
+			putInt(h, int64(d))
+		}
+	}
+
+	putInt(h, int64(len(g.edges)))
+	for _, e := range g.edges {
+		putInt(h, int64(e.From))
+		putInt(h, int64(e.To))
+		putInt(h, int64(e.Words))
+	}
+
+	putInt(h, int64(len(g.order)))
+	for _, order := range g.order {
+		putInt(h, int64(len(order)))
+		for _, id := range order {
+			putInt(h, int64(id))
+		}
+	}
+
+	for k := 0; k < g.Cores; k++ {
+		putInt(h, int64(g.BankOf(CoreID(k))))
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// putInt feeds one integer into the hash in fixed-width little-endian form,
+// so field boundaries are unambiguous regardless of value magnitude.
+func putInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}

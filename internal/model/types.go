@@ -21,6 +21,15 @@ type Cycles int64
 // computation.
 const Infinity Cycles = 1<<62 - 1
 
+// MaxInput bounds every externally supplied magnitude: WCETs, minimal
+// releases, per-bank demands and edge volumes. JSON cannot carry NaN or
+// ±Inf, so the overflow risk for the int64-based Cycles/Accesses arithmetic
+// is huge-but-finite inputs: release dates accumulate sums of WCETs,
+// interference and demand terms over up to 2^20 tasks, and those sums must
+// stay clearly below Infinity (2^62). 2^40 per field keeps any such sum
+// under 2^60 while still allowing hour-long WCETs on a multi-GHz clock.
+const MaxInput = 1 << 40
+
 // TaskID identifies a task within a Graph. IDs are dense: a graph with n
 // tasks uses IDs 0..n-1, so slices indexed by TaskID are the preferred
 // per-task storage in the schedulers.

@@ -7,6 +7,9 @@ import "fmt"
 //   - platform sanity: at least one core and one bank;
 //   - task sanity: dense IDs, non-negative WCETs, minimal releases and
 //     demands, cores in range;
+//   - magnitude sanity: WCETs, minimal releases, demands and edge volumes
+//     do not exceed MaxInput, so accumulated release dates and interference
+//     terms cannot overflow int64 arithmetic (see MaxInput);
 //   - edge sanity: endpoints in range, no self-loops, non-negative volumes;
 //   - the dependency graph is acyclic;
 //   - every core's execution order lists exactly the tasks mapped to it,
@@ -34,8 +37,12 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("model: task at index %d has ID %d", i, t.ID)
 		case t.WCET < 0:
 			return fmt.Errorf("model: %s has negative WCET %d", t.ID, t.WCET)
+		case t.WCET > MaxInput:
+			return fmt.Errorf("model: %s has WCET %d exceeding MaxInput %d (overflow guard)", t.ID, t.WCET, int64(MaxInput))
 		case t.MinRelease < 0:
 			return fmt.Errorf("model: %s has negative minimal release %d", t.ID, t.MinRelease)
+		case t.MinRelease > MaxInput:
+			return fmt.Errorf("model: %s has minimal release %d exceeding MaxInput %d (overflow guard)", t.ID, t.MinRelease, int64(MaxInput))
 		case t.Core < 0 || int(t.Core) >= g.Cores:
 			return fmt.Errorf("model: %s mapped to core %d, platform has %d cores", t.ID, t.Core, g.Cores)
 		case len(t.Demand) > g.Banks:
@@ -44,6 +51,9 @@ func (g *Graph) Validate() error {
 		for b, d := range t.Demand {
 			if d < 0 {
 				return fmt.Errorf("model: %s has negative demand %d on %s", t.ID, d, BankID(b))
+			}
+			if d > MaxInput {
+				return fmt.Errorf("model: %s has demand %d on %s exceeding MaxInput %d (overflow guard)", t.ID, d, BankID(b), int64(MaxInput))
 			}
 		}
 	}
@@ -57,6 +67,8 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("model: self-dependency on %s", e.From)
 		case e.Words < 0:
 			return fmt.Errorf("model: edge %s->%s has negative volume %d", e.From, e.To, e.Words)
+		case e.Words > MaxInput:
+			return fmt.Errorf("model: edge %s->%s has volume %d exceeding MaxInput %d (overflow guard)", e.From, e.To, e.Words, int64(MaxInput))
 		}
 	}
 	if _, err := g.TopoSort(); err != nil {

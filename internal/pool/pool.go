@@ -64,8 +64,10 @@ func (p *panicError) Error() string {
 // stop the sweep — the remaining tasks still run, and the first error by
 // index is returned once everything finishes (cancel ctx from inside f for
 // fail-fast). When ctx is canceled, unstarted tasks are never launched and
-// ctx.Err() is returned unless a task error takes precedence. A panic in any
-// task is re-raised in the caller's goroutine.
+// ctx.Err() is returned unless a task error takes precedence — even when the
+// cancellation arrives after every index was handed out, so a canceled sweep
+// is never reported as complete. A panic in any task is re-raised in the
+// caller's goroutine.
 func Map[T any](ctx context.Context, jobs, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	return mapIndexed(ctx, jobs, n, func(_, i int) (T, error) {
 		return safeCall(ctx, i, f)
@@ -112,7 +114,11 @@ func mapIndexed[T any](ctx context.Context, jobs, n int, call func(w, i int) (T,
 			}
 			results[i], errs[i] = call(0, i)
 		}
-		return results, firstError(errs, nil)
+		// ctx.Err() rather than nil: a cancellation during the final task
+		// tears that task down (it polls ctx) without any index left for the
+		// loop check above to refuse, and a canceled sweep must never be
+		// reported as complete.
+		return results, firstError(errs, ctx.Err())
 	}
 
 	indexes := make(chan int)
@@ -141,6 +147,14 @@ feed:
 	}
 	close(indexes)
 	wg.Wait()
+	if ctxErr == nil {
+		// The feeder can hand out the last index in the same instant the
+		// context is canceled (the select picks the ready send): every task
+		// was launched, yet the in-flight ones were torn down by the
+		// cancellation. Re-check so a canceled sweep is never reported as
+		// complete.
+		ctxErr = ctx.Err()
+	}
 	return results, firstError(errs, ctxErr)
 }
 

@@ -125,6 +125,44 @@ func TestMapCancellationStopsLaunching(t *testing.T) {
 	}
 }
 
+// TestMapCancellationDuringFinalTasks pins the everything-already-launched
+// race: when the cancellation arrives only after every index has been handed
+// to a worker, the in-flight tasks are still torn down by the context, so
+// Map must report ctx.Err() rather than pass the sweep off as complete (a
+// caller flushing partial results would otherwise omit its truncation
+// marker).
+func TestMapCancellationDuringFinalTasks(t *testing.T) {
+	t.Run("sequential", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Map(ctx, 1, 1, func(ctx context.Context, i int) (int, error) {
+			cancel() // the only index is in flight; nothing is left to refuse
+			<-ctx.Done()
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("concurrent", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		_, err := Map(ctx, 2, 2, func(ctx context.Context, i int) (int, error) {
+			// Wait for both indexes to be in flight (the feeder has fed
+			// everything and closed) before canceling.
+			started.Add(1)
+			for started.Load() < 2 {
+				time.Sleep(10 * time.Microsecond)
+			}
+			cancel()
+			<-ctx.Done()
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+}
+
 func TestMapCanceledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,91 @@
+package pool
+
+import "sync"
+
+// Runner is the serving-shaped sibling of MapWith: a fixed set of workers,
+// each owning one long-lived mutable state, consuming tasks from a bounded
+// queue for the lifetime of a service instead of for the span of one batch
+// call. It exists for request/response workloads (the analysis server) where
+// work arrives continuously, admission must be load-shed rather than
+// blocked, and shutdown must drain what was admitted.
+//
+// The contract mirrors MapWith where it can: each state is owned by exactly
+// one goroutine, so tasks mutate it freely without synchronization, and
+// which state serves which task is scheduling-dependent. It differs where
+// serving demands it: TrySubmit never blocks (a full queue is the caller's
+// load-shedding signal), there is no result plumbing (tasks carry their own
+// reply channels), and tasks must not panic — a panicking task would kill
+// its worker and silently shrink capacity, so servers wrap handlers in their
+// own recover.
+type Runner[S any] struct {
+	queue chan func(S)
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// NewRunner starts len(states) workers consuming from a queue of the given
+// capacity. Capacity 0 means tasks are only admitted when a worker is ready
+// to receive immediately. NewRunner panics if states is empty — a runner
+// with no workers would admit tasks it can never run.
+func NewRunner[S any](states []S, capacity int) *Runner[S] {
+	if len(states) == 0 {
+		panic("pool: NewRunner needs at least one worker state")
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	r := &Runner[S]{queue: make(chan func(S), capacity)}
+	for _, st := range states {
+		r.wg.Add(1)
+		go func(st S) {
+			defer r.wg.Done()
+			for task := range r.queue {
+				task(st)
+			}
+		}(st)
+	}
+	return r
+}
+
+// TrySubmit enqueues task for execution by some worker. It returns false —
+// without blocking — when the queue is full or the runner is draining;
+// callers translate that into their load-shedding response. A true return
+// guarantees the task will run: Drain executes every admitted task before
+// returning.
+func (r *Runner[S]) TrySubmit(task func(S)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return false
+	}
+	select {
+	case r.queue <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// Queued returns the number of admitted tasks not yet picked up by a worker.
+func (r *Runner[S]) Queued() int { return len(r.queue) }
+
+// Capacity returns the queue capacity.
+func (r *Runner[S]) Capacity() int { return cap(r.queue) }
+
+// Drain stops admission, lets the workers finish every already-admitted
+// task, and waits for them to exit. It is idempotent and safe to call
+// concurrently with TrySubmit; tasks racing with Drain are either admitted
+// (and run) or refused, never lost. Deadline pressure during shutdown is the
+// tasks' concern: admitted tasks observing an expired context are expected
+// to reply cheaply and return.
+func (r *Runner[S]) Drain() {
+	r.mu.Lock()
+	if !r.draining {
+		r.draining = true
+		close(r.queue)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}

@@ -1,0 +1,111 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunnerExecutesOnWorkerStates(t *testing.T) {
+	type state struct{ id, served int }
+	states := []*state{{id: 0}, {id: 1}}
+	r := NewRunner(states, 8)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		ok := r.TrySubmit(func(st *state) {
+			defer wg.Done()
+			st.served++ // no lock: st is worker-owned
+			total.Add(1)
+		})
+		if !ok {
+			wg.Done()
+			t.Fatalf("task %d refused with empty-ish queue", i)
+		}
+		if i%4 == 3 {
+			wg.Wait() // keep the queue from filling
+		}
+	}
+	wg.Wait()
+	r.Drain()
+	if total.Load() != 32 {
+		t.Fatalf("served %d of 32 tasks", total.Load())
+	}
+	if states[0].served+states[1].served != 32 {
+		t.Fatalf("per-state tallies %d+%d != 32", states[0].served, states[1].served)
+	}
+}
+
+func TestRunnerShedsWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunner([]int{0}, 1)
+	var done sync.WaitGroup
+	done.Add(2)
+	// First task occupies the single worker; second fills the queue.
+	if !r.TrySubmit(func(int) { <-gate; done.Done() }) {
+		t.Fatal("first task refused")
+	}
+	// The worker may not have dequeued the first task yet, so admission of
+	// the queue-filling task can race; retry until the queue slot is ours.
+	for !r.TrySubmit(func(int) { done.Done() }) {
+		time.Sleep(time.Millisecond)
+	}
+	// Now worker busy + queue full: admission must shed, not block.
+	shedAt := time.Now()
+	if r.TrySubmit(func(int) { t.Error("shed task ran") }) {
+		t.Fatal("third task admitted past a full queue")
+	}
+	if time.Since(shedAt) > time.Second {
+		t.Fatal("TrySubmit blocked instead of shedding")
+	}
+	close(gate)
+	done.Wait()
+	r.Drain()
+}
+
+func TestRunnerDrainRunsAdmittedTasksAndStopsAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunner([]int{0}, 4)
+	var ran atomic.Int64
+	r.TrySubmit(func(int) { <-gate; ran.Add(1) })
+	r.TrySubmit(func(int) { ran.Add(1) })
+	r.TrySubmit(func(int) { ran.Add(1) })
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	r.Drain()
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("drain ran %d of 3 admitted tasks", got)
+	}
+	if r.TrySubmit(func(int) { t.Error("post-drain task ran") }) {
+		t.Fatal("admission after Drain")
+	}
+	r.Drain() // idempotent
+}
+
+func TestRunnerConcurrentSubmitAndDrain(t *testing.T) {
+	r := NewRunner([]int{0, 1, 2, 3}, 16)
+	var admitted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if r.TrySubmit(func(int) { ran.Add(1) }) {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	r.Drain()
+	wg.Wait()
+	// Everything admitted before/through the drain race must have run.
+	if admitted.Load() != ran.Load() {
+		t.Fatalf("admitted %d but ran %d", admitted.Load(), ran.Load())
+	}
+}

@@ -128,6 +128,28 @@ func (sc *Scheduler) Reschedule(edits ...Edit) (*sched.Result, error) {
 	return sc.st.run()
 }
 
+// SetCancel replaces the cancellation channel consulted by subsequent
+// Schedule and Reschedule calls, enabling per-request deadlines on a
+// long-lived Scheduler (Options.Cancel is captured at construction time and
+// would otherwise be fixed for the Scheduler's whole life). A canceled call
+// returns sched.ErrCanceled and never corrupts the warm state: a canceled
+// cold Schedule simply leaves the Scheduler without a baseline (the next
+// call runs cold), and a canceled Reschedule leaves the committed
+// checkpoints untouched.
+func (sc *Scheduler) SetCancel(ch <-chan struct{}) { sc.st.cancel = ch }
+
+// Warm reports whether the Scheduler holds a valid warm-start baseline: a
+// successful cold Schedule has committed checkpoints and the caller has not
+// invalidated them. Serving layers use it to distinguish a cheap Reschedule
+// replay from the cold run it would silently fall back to, and to report
+// warm-pool occupancy in metrics.
+func (sc *Scheduler) Warm() bool { return sc.base }
+
+// Checkpoints returns the number of committed event-boundary checkpoints of
+// the last recording run — an observability hook for tests and metrics; the
+// replay machinery does not depend on callers reading it.
+func (sc *Scheduler) Checkpoints() int { return len(sc.snaps) }
+
 // checkpoint is the state's event-boundary hook: during recording runs it
 // captures every stride-th event into the store, compacting (drop every
 // other checkpoint, double the stride) when the store outgrows its bound.

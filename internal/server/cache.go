@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+// warmEntry is one worker's warm analysis state for one graph fingerprint: a
+// worker-private clone of the graph (its execution orders are the committed
+// checkpoint baseline; reschedule requests mutate them and undo afterwards)
+// and the incremental scheduler whose checkpoints replay edits against that
+// baseline. Entries are confined to the worker that built them, so nothing
+// here is synchronized.
+type warmEntry struct {
+	hash string
+	g    *model.Graph
+	sch  *incremental.Scheduler
+}
+
+// newWarmEntry clones master for exclusive use by one worker and binds a
+// warm-start scheduler to the clone. Trace hooks are stripped: a shared
+// trace callback across workers would race, and the service has no use for
+// event streams.
+func newWarmEntry(hash string, master *model.Graph, opts sched.Options) *warmEntry {
+	opts.Trace = nil
+	g := master.Clone()
+	return &warmEntry{hash: hash, g: g, sch: incremental.NewScheduler(g, opts)}
+}
+
+// warmCache is a worker-private LRU of warmEntry values keyed by graph
+// fingerprint — the "one warm scheduler per worker, LRU of checkpointed
+// graphs" pooling shape. No locking: exactly one goroutine touches it.
+type warmCache struct {
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+func newWarmCache(capacity int) *warmCache {
+	return &warmCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the entry for hash, marking it most recently used.
+func (c *warmCache) get(hash string) (*warmEntry, bool) {
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*warmEntry), true
+}
+
+// put inserts an entry, evicting the least recently used one past capacity.
+func (c *warmCache) put(e *warmEntry) {
+	if el, ok := c.entries[e.hash]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.hash] = c.order.PushFront(e)
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(*warmEntry).hash)
+		c.order.Remove(last)
+	}
+}
+
+// graphCache is the shared fingerprint → parsed-graph registry. Analyze
+// populates it; reschedule-by-hash reads it when the serving worker has no
+// warm entry yet (the graph bytes are not resent). Graphs stored here are
+// master copies: workers clone before mutating orders, so concurrent readers
+// are safe, and the mutex only guards the map/list structure.
+type graphCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are graphRecord
+}
+
+type graphRecord struct {
+	hash string
+	g    *model.Graph
+}
+
+func newGraphCache(capacity int) *graphCache {
+	return &graphCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *graphCache) get(hash string) (*model.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(graphRecord).g, true
+}
+
+func (c *graphCache) put(hash string, g *model.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return // same fingerprint = same analysis input; keep the original
+	}
+	c.entries[hash] = c.order.PushFront(graphRecord{hash: hash, g: g})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(graphRecord).hash)
+		c.order.Remove(last)
+	}
+}
+
+func (c *graphCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow bounds the rolling latency sample the quantiles are computed
+// over. A ring of the most recent samples keeps /metrics O(window) and the
+// quantiles responsive to load changes instead of averaging over the whole
+// process lifetime.
+const latencyWindow = 1024
+
+// metrics holds the service counters exposed on /metrics. Counters are
+// plain atomics (expvar-style: monotonic, scraped as a JSON snapshot);
+// the latency ring is the only locked structure.
+type metrics struct {
+	start time.Time
+
+	analyze     atomic.Int64
+	reschedule  atomic.Int64
+	healthz     atomic.Int64
+	metricsReqs atomic.Int64
+
+	resp2xx atomic.Int64
+	resp4xx atomic.Int64
+	resp5xx atomic.Int64
+
+	shed     atomic.Int64
+	inFlight atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	lat struct {
+		mu    sync.Mutex
+		ring  [latencyWindow]float64 // milliseconds
+		next  int
+		total int64
+	}
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// observeLatency records one analyze/reschedule request duration.
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.lat.mu.Lock()
+	m.lat.ring[m.lat.next] = ms
+	m.lat.next = (m.lat.next + 1) % latencyWindow
+	m.lat.total++
+	m.lat.mu.Unlock()
+}
+
+// countResponse tallies a response by status class.
+func (m *metrics) countResponse(status int) {
+	switch {
+	case status >= 500:
+		m.resp5xx.Add(1)
+	case status >= 400:
+		m.resp4xx.Add(1)
+	default:
+		m.resp2xx.Add(1)
+	}
+}
+
+// quantiles computes p50/p99 over the current latency window.
+func (m *metrics) quantiles() (p50, p99 float64, samples int64) {
+	m.lat.mu.Lock()
+	n := int(m.lat.total)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]float64, n)
+	copy(window, m.lat.ring[:n])
+	samples = m.lat.total
+	m.lat.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return window[i]
+	}
+	return at(0.50), at(0.99), samples
+}
+
+// metricsSnapshot is the /metrics response body. Field order is fixed by the
+// struct, so scrapes are byte-stable for a given counter state.
+type metricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      struct {
+		Analyze    int64 `json:"analyze"`
+		Reschedule int64 `json:"reschedule"`
+		Healthz    int64 `json:"healthz"`
+		Metrics    int64 `json:"metrics"`
+	} `json:"requests"`
+	Responses struct {
+		Class2xx int64 `json:"2xx"`
+		Class4xx int64 `json:"4xx"`
+		Class5xx int64 `json:"5xx"`
+	} `json:"responses"`
+	Shed     int64 `json:"shed"`
+	InFlight int64 `json:"in_flight"`
+	Queue    struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		Graphs int   `json:"graphs"`
+	} `json:"cache"`
+	LatencyMs struct {
+		P50     float64 `json:"p50"`
+		P99     float64 `json:"p99"`
+		Samples int64   `json:"samples"`
+	} `json:"latency_ms"`
+}
+
+// snapshot assembles the scrape body. queueDepth/queueCap/graphs are passed
+// in by the server, which owns those structures.
+func (m *metrics) snapshot(queueDepth, queueCap, graphs int) ([]byte, error) {
+	var s metricsSnapshot
+	s.UptimeSeconds = time.Since(m.start).Seconds()
+	s.Requests.Analyze = m.analyze.Load()
+	s.Requests.Reschedule = m.reschedule.Load()
+	s.Requests.Healthz = m.healthz.Load()
+	s.Requests.Metrics = m.metricsReqs.Load()
+	s.Responses.Class2xx = m.resp2xx.Load()
+	s.Responses.Class4xx = m.resp4xx.Load()
+	s.Responses.Class5xx = m.resp5xx.Load()
+	s.Shed = m.shed.Load()
+	s.InFlight = m.inFlight.Load()
+	s.Queue.Depth = queueDepth
+	s.Queue.Capacity = queueCap
+	s.Cache.Hits = m.cacheHits.Load()
+	s.Cache.Misses = m.cacheMisses.Load()
+	s.Cache.Graphs = graphs
+	s.LatencyMs.P50, s.LatencyMs.P99, s.LatencyMs.Samples = m.quantiles()
+	return json.Marshal(&s)
+}

@@ -1,0 +1,298 @@
+// Package server exposes the repository's interference analysis as a
+// long-running HTTP/JSON service — the serving layer the ROADMAP's
+// production north star asks for, and the shape used by online bandwidth
+// regulation controllers that re-run interference analysis in a loop.
+//
+//	POST /v1/analyze     graph JSON in → schedule (Θ, R, makespan) out
+//	POST /v1/reschedule  fingerprint + order edits → schedule out, served
+//	                     from a warm scheduler checkpoint when possible
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        expvar-style counters + latency quantiles
+//
+// Requests pass a bounded admission queue onto a fixed pool of workers;
+// each worker owns an LRU of warm incremental.Scheduler instances keyed by
+// canonical graph fingerprint (model.Graph.Fingerprint), so repeat analyses
+// and single-edit reschedules replay a checkpointed suffix instead of
+// re-analyzing from t=0 — the same warm-start reuse the design-space
+// explorer exploits, now held across requests. Warm replays are bit-identical
+// to cold runs (the scheduler's differential suite pins this), so a client
+// cannot observe whether its response came from a checkpoint: only latency
+// and the cache counters differ.
+//
+// Load shedding: a full queue answers 429 with Retry-After rather than
+// queuing unboundedly. Deadlines: every request carries a context deadline
+// (default Config.DefaultTimeout, per-request override via ?timeout_ms=);
+// expiry mid-analysis cancels the scheduler run and answers 504. Drain:
+// BeginDrain rejects new work with 503 while admitted requests finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/pool"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a serving-sensible default.
+type Config struct {
+	// Workers is the number of warm evaluator goroutines (default: NumCPU).
+	// Each worker owns WarmCacheSize warm schedulers; requests are served by
+	// whichever worker picks them up.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A full queue sheds
+	// with 429 + Retry-After instead of queuing unboundedly.
+	QueueDepth int
+	// WarmCacheSize is each worker's warm-scheduler LRU capacity (default 8).
+	WarmCacheSize int
+	// GraphCacheSize is the shared parsed-graph registry capacity (default
+	// 128). Reschedule-by-fingerprint needs the graph bytes of an earlier
+	// analyze; eviction turns later reschedules into 404s.
+	GraphCacheSize int
+	// DefaultTimeout is the per-request deadline when the client does not
+	// pass ?timeout_ms= (default 30s).
+	DefaultTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxRequestBytes bounds request bodies (default 32 MiB).
+	MaxRequestBytes int64
+	// Sched is the base option set for every analysis (arbiter, competitor
+	// merging, ...). Trace and Cancel are ignored: traces would race across
+	// workers, and cancellation is wired per request.
+	Sched sched.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.WarmCacheSize < 1 {
+		c.WarmCacheSize = 8
+	}
+	if c.GraphCacheSize < 1 {
+		c.GraphCacheSize = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 32 << 20
+	}
+	c.Sched.Trace = nil
+	c.Sched.Cancel = nil
+	return c
+}
+
+// worker is one evaluator goroutine's private state: its warm-scheduler LRU.
+type worker struct {
+	opts  sched.Options
+	cache *warmCache
+}
+
+// Server is the analysis service. Create with New, mount Handler on an
+// http.Server, and shut down with BeginDrain followed by Close.
+type Server struct {
+	cfg    Config
+	runner *pool.Runner[*worker]
+	graphs *graphCache
+	met    *metrics
+	mux    *http.ServeMux
+
+	drainCh chan struct{} // closed by BeginDrain
+
+	// gate, when non-nil, runs on the worker goroutine before each admitted
+	// job. Tests use it to hold workers deterministically (queue-full and
+	// deadline-expiry scenarios).
+	gate func()
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &worker{opts: cfg.Sched, cache: newWarmCache(cfg.WarmCacheSize)}
+	}
+	s := &Server{
+		cfg:     cfg,
+		runner:  pool.NewRunner(workers, cfg.QueueDepth),
+		graphs:  newGraphCache(cfg.GraphCacheSize),
+		met:     newMetrics(),
+		mux:     http.NewServeMux(),
+		drainCh: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/reschedule", s.handleReschedule)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's counter set (read-only use intended).
+func (s *Server) Metrics() *metrics { return s.met }
+
+// BeginDrain switches the server into draining mode: every subsequent
+// analyze/reschedule/healthz request answers 503 immediately, while requests
+// already admitted to the queue keep running. Idempotent.
+func (s *Server) BeginDrain() {
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+	}
+}
+
+// draining reports whether BeginDrain was called.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the worker pool: admission stops, every admitted job runs to
+// completion, and the worker goroutines exit. It implies BeginDrain and
+// blocks until the pool is idle — callers wanting a deadline on the HTTP
+// side run http.Server.Shutdown first, which bounds how long handlers keep
+// waiting for their replies.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.runner.Drain()
+}
+
+// reply is what a worker computes for one request; the handler goroutine
+// writes it, since the worker may outlive the handler on deadline expiry.
+type reply struct {
+	status    int
+	cacheNote string // X-Mia-Cache value ("hit"/"miss"); empty = omit
+	body      []byte // JSON, already serialized on the worker
+}
+
+// errBody renders the uniform JSON error shape.
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return b
+}
+
+// requestCtx layers the per-request deadline onto the connection context.
+// An invalid or non-positive timeout_ms falls back to the default: admission
+// control should never fail a request over a malformed hint.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		var ms int64
+		if _, err := fmt.Sscan(v, &ms); err == nil && ms > 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// dispatch admits one analysis job onto the worker pool and writes its
+// reply, translating queue pressure into 429, drain into 503, and deadline
+// expiry into 504. job runs on a worker goroutine and must serialize its
+// response before returning (worker-owned scheduler buffers are reused by
+// the next job).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, job func(ctx context.Context, wk *worker) reply) {
+	start := time.Now()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	if s.draining() {
+		s.writeReply(w, reply{status: http.StatusServiceUnavailable, body: errBody("draining")})
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	out := make(chan reply, 1) // buffered: the worker never blocks on a gone handler
+	admitted := s.runner.TrySubmit(func(wk *worker) {
+		if s.gate != nil {
+			s.gate()
+		}
+		out <- safeJob(ctx, wk, job)
+	})
+	if !admitted {
+		s.met.shed.Add(1)
+		if s.draining() {
+			s.writeReply(w, reply{status: http.StatusServiceUnavailable, body: errBody("draining")})
+			return
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+		s.writeReply(w, reply{status: http.StatusTooManyRequests, body: errBody("queue full")})
+		return
+	}
+
+	select {
+	case rep := <-out:
+		s.met.observeLatency(time.Since(start))
+		s.writeReply(w, rep)
+	case <-ctx.Done():
+		// The job still runs (it cannot be unqueued) but will observe the
+		// dead context and return cheaply; its reply lands in the buffered
+		// channel and is dropped.
+		s.met.observeLatency(time.Since(start))
+		s.writeReply(w, timeoutReply(ctx))
+	}
+}
+
+// safeJob runs job with panic containment: a panicking analysis answers 500
+// for its own request instead of killing the worker goroutine and silently
+// shrinking pool capacity.
+func safeJob(ctx context.Context, wk *worker, job func(context.Context, *worker) reply) (rep reply) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = reply{status: http.StatusInternalServerError, body: errBody(fmt.Sprintf("internal panic: %v", r))}
+		}
+	}()
+	return job(ctx, wk)
+}
+
+// timeoutReply maps a dead request context to its response: 504 for an
+// expired deadline, 503 for a client disconnect (the body is written for
+// uniformity; a disconnected client never reads it).
+func timeoutReply(ctx context.Context) reply {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return reply{status: http.StatusGatewayTimeout, body: errBody("deadline exceeded")}
+	}
+	return reply{status: http.StatusServiceUnavailable, body: errBody("client gone")}
+}
+
+// writeReply writes one reply and tallies it.
+func (s *Server) writeReply(w http.ResponseWriter, rep reply) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if rep.cacheNote != "" {
+		h.Set("X-Mia-Cache", rep.cacheNote)
+	}
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+	s.met.countResponse(rep.status)
+}
+
+// readGraph decodes a request body as a task graph with the size cap
+// applied.
+func (s *Server) readGraph(r *http.Request) (*model.Graph, error) {
+	return model.ReadJSON(http.MaxBytesReader(nil, r.Body, s.cfg.MaxRequestBytes))
+}

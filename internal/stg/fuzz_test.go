@@ -3,6 +3,8 @@ package stg
 import (
 	"strings"
 	"testing"
+
+	"github.com/mia-rt/mia/internal/model"
 )
 
 // FuzzReadSTG checks the STG parser never panics and never aborts on
@@ -22,6 +24,8 @@ func FuzzReadSTG(f *testing.F) {
 		"1\n0 -3 0\n",            // negative processing time
 		"99999999999999999999\n", // overflowing task count
 		"1073741824\n",           // huge but parseable task count
+		"1\n0 1099511627777 0\n", // proc time past model.MaxInput
+		"1\n0 1099511627776 0\n", // proc time exactly at model.MaxInput
 		"",
 		"x\n",
 	}
@@ -41,6 +45,11 @@ func FuzzReadSTG(f *testing.F) {
 				if p < 0 || p >= g.Tasks() {
 					t.Fatalf("task %d: accepted out-of-range predecessor %d", id, p)
 				}
+			}
+		}
+		for id, proc := range g.ProcTimes {
+			if proc < 0 || proc > model.MaxInput {
+				t.Fatalf("task %d: accepted out-of-bounds processing time %d", id, proc)
 			}
 		}
 		if _, err := g.ToProblem(4, 4, DefaultSynthesis()); err != nil {

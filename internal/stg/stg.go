@@ -107,6 +107,12 @@ func Read(r io.Reader) (*Graph, error) {
 		if _, err := fmt.Sscan(f[1], &proc); err != nil || proc < 0 {
 			return nil, fmt.Errorf("stg: task %d: bad processing time %q", id, f[1])
 		}
+		// Huge-but-finite processing times would overflow the int64 release
+		// arithmetic downstream; model.Validate enforces the same bound on
+		// every other ingestion path.
+		if proc > model.MaxInput {
+			return nil, fmt.Errorf("stg: task %d: processing time %d exceeds limit %d", id, proc, int64(model.MaxInput))
+		}
 		if _, err := fmt.Sscan(f[2], &nPreds); err != nil || nPreds < 0 {
 			return nil, fmt.Errorf("stg: task %d: bad predecessor count %q", id, f[2])
 		}
@@ -147,6 +153,15 @@ func DefaultSynthesis() SynthesisParams {
 func (g *Graph) ToProblem(cores, banks int, p SynthesisParams) (*mapper.Problem, error) {
 	if p.AccMax < p.AccMin || p.WriteMax < p.WriteMin {
 		return nil, fmt.Errorf("stg: bad synthesis ranges %+v", p)
+	}
+	// Negative lower bounds would synthesize negative access counts (rejected
+	// only later, by model.Validate, with a confusing diagnostic); bounds past
+	// MaxInput would pass synthesis but overflow downstream accumulation.
+	if p.AccMin < 0 || p.WriteMin < 0 {
+		return nil, fmt.Errorf("stg: negative synthesis range %+v", p)
+	}
+	if p.AccMax > model.MaxInput || p.WriteMax > model.MaxInput {
+		return nil, fmt.Errorf("stg: synthesis range %+v exceeds limit %d", p, int64(model.MaxInput))
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	randIn := func(lo, hi model.Accesses) model.Accesses {

@@ -56,6 +56,9 @@ func TestReadErrors(t *testing.T) {
 		"pred mismatch":  "1\n0 1 2 0\n",
 		"pred range":     "2\n0 1 0\n1 1 1 9\n",
 		"negative preds": "1\n0 1 -1\n",
+		// 2^40+1: finite, parseable, but past the model.MaxInput overflow
+		// guard shared with the JSON loader.
+		"huge proc": "1\n0 1099511627777 0\n",
 	}
 	for name, src := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -63,6 +66,37 @@ func TestReadErrors(t *testing.T) {
 				t.Fatalf("accepted %q", src)
 			}
 		})
+	}
+}
+
+// TestToProblemRejectsBadRanges pins the synthesis-range hardening: inverted,
+// negative and overflow-scale ranges are rejected with a diagnostic instead
+// of synthesizing access counts that model.Validate later rejects (or worse,
+// accepts into overflowing accumulation).
+func TestToProblemRejectsBadRanges(t *testing.T) {
+	g, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]SynthesisParams{
+		"inverted acc":   {AccMin: 10, AccMax: 5, WriteMin: 0, WriteMax: 1},
+		"inverted write": {AccMin: 0, AccMax: 1, WriteMin: 10, WriteMax: 5},
+		"negative acc":   {AccMin: -5, AccMax: 5, WriteMin: 0, WriteMax: 1},
+		"negative write": {AccMin: 0, AccMax: 1, WriteMin: -5, WriteMax: 5},
+		"acc overflow":   {AccMin: 0, AccMax: model.MaxInput + 1, WriteMin: 0, WriteMax: 1},
+		"write overflow": {AccMin: 0, AccMax: 1, WriteMin: 0, WriteMax: model.MaxInput + 1},
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := g.ToProblem(4, 4, p); err == nil {
+				t.Fatalf("accepted synthesis params %+v", p)
+			}
+		})
+	}
+	// The bound itself remains legal.
+	ok := SynthesisParams{AccMin: 0, AccMax: model.MaxInput, WriteMin: 0, WriteMax: model.MaxInput, Seed: 1}
+	if _, err := g.ToProblem(4, 4, ok); err != nil {
+		t.Fatalf("ranges at MaxInput must be accepted: %v", err)
 	}
 }
 
