@@ -4,12 +4,30 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race fuzz-smoke bench-smoke serve-smoke ci clean
+.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke ci clean
 
 all: build
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: the domain-specific mialint suite (determinism,
+# hotpathalloc, ctxflow, boundedinput — see internal/lint), go vet, and a
+# gofmt cleanliness check. staticcheck joins in when it is on PATH; the
+# container image does not ship it, so its absence is not a failure.
+# bin/mialint is a real file target so repeated `make lint` reuses the
+# built analyzer when its sources have not changed.
+MIALINT_SRCS := $(shell find cmd/mialint internal/lint -name '*.go' -not -path '*/testdata/*')
+
+bin/mialint: $(MIALINT_SRCS) go.mod
+	$(GO) build -o $@ ./cmd/mialint
+
+lint: bin/mialint vet
+	./bin/mialint ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+	  echo "gofmt -l flagged:"; echo "$$unformatted"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	  else echo "staticcheck not on PATH; skipped"; fi
 
 build:
 	$(GO) build ./...
@@ -46,7 +64,8 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -tags servesmoke -run TestServeSmoke -v ./cmd/miaserve
 
-ci: vet build race fuzz-smoke bench-smoke serve-smoke
+ci: lint build race fuzz-smoke bench-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...
+	rm -f bin/mialint

@@ -11,6 +11,7 @@
 package mia_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -192,7 +193,7 @@ func BenchmarkSimulator(b *testing.B) {
 func BenchmarkExploreEvaluation(b *testing.B) {
 	p := gen.NewParams(8, 16)
 	g := gen.MustLayered(p)
-	res, err := explore.Anneal(g, explore.Options{Seed: 1, MaxEvaluations: 2})
+	res, err := explore.Anneal(context.Background(), g, explore.Options{Seed: 1, MaxEvaluations: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func BenchmarkExploreEvaluation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := explore.Anneal(g, explore.Options{Seed: int64(i), MaxEvaluations: 20}); err != nil {
+		if _, err := explore.Anneal(context.Background(), g, explore.Options{Seed: int64(i), MaxEvaluations: 20}); err != nil {
 			b.Fatal(err)
 		}
 	}

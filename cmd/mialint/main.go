@@ -1,0 +1,129 @@
+// Command mialint runs the repository's domain-specific static-analysis
+// suite (internal/lint) over a Go module: four analyzers that enforce the
+// determinism, hot-path-allocation, context-flow, and bounded-input
+// invariants the runtime test suites can only check after a regression has
+// landed.
+//
+// Usage:
+//
+//	mialint ./...
+//	mialint -analyzers determinism,ctxflow ./internal/...
+//	mialint -C path/to/module -json ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic was
+// reported, and 2 when the module could not be loaded or the flags were
+// invalid — the same convention as go vet, so CI treats diagnostics and
+// breakage differently.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"github.com/mia-rt/mia/internal/lint"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mialint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("C", ".", "directory of the module to lint")
+		names    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		asJSON   = fs.Bool("json", false, "emit diagnostics as a JSON array instead of vet-style lines")
+		listOnly = fs.Bool("list", false, "list the available analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		var want []string
+		for _, n := range strings.Split(*names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				want = append(want, n)
+			}
+		}
+		sort.Strings(want)
+		if analyzers = lint.ByName(want); analyzers == nil {
+			fmt.Fprintf(stderr, "mialint: unknown analyzer in -analyzers=%s (run mialint -list)\n", *names)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Loading and type-checking the module is the expensive step; honor
+	// cancellation before starting and between load and analysis so an
+	// interrupted CI job dies fast.
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(stderr, "mialint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "mialint:", err)
+		return 2
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(stderr, "mialint:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "mialint:", err)
+		return 2
+	}
+
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "mialint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mialint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

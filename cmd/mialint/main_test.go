@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run in-process and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", "testdata/clean", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module produced output:\n%s", stdout)
+	}
+}
+
+func TestDirtyModuleExitsOne(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", "testdata/dirty", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	for _, wantFrag := range []string{
+		"ctxflow: context.Background in a library package",
+		"ctxflow: goroutine has no visible join",
+	} {
+		if !strings.Contains(stdout, wantFrag) {
+			t.Errorf("stdout missing %q:\n%s", wantFrag, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 diagnostic(s)") {
+		t.Errorf("stderr missing summary count:\n%s", stderr)
+	}
+}
+
+func TestBrokenModuleExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, "-C", "testdata/broken", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "mialint:") {
+		t.Errorf("stderr missing load error:\n%s", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", "testdata/dirty", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "ctxflow" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	// The dirty fixture's violations are all ctxflow; restricting the run to
+	// determinism must make it clean.
+	code, stdout, stderr := runCLI(t, "-C", "testdata/dirty", "-analyzers", "determinism", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, "-C", "testdata/clean", "-analyzers", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer hint:\n%s", stderr)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"boundedinput", "ctxflow", "determinism", "hotpathalloc"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestCanceledContextExitsTwo(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"-C", "testdata/clean", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 on canceled context", code)
+	}
+}

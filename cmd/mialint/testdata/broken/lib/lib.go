@@ -1,0 +1,7 @@
+// Package lib does not type-check: the CLI must exit 2, distinguishing
+// breakage from findings.
+package lib
+
+func Broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,9 @@
+// Package lib is a violation-free fixture: mialint must exit 0 on it.
+package lib
+
+import "context"
+
+// Run is context-first and allocates nowhere special.
+func Run(ctx context.Context, n int) (int, error) {
+	return n * 2, ctx.Err()
+}

@@ -1,0 +1,15 @@
+// Package lib carries exactly two violations, one per analyzer the CLI
+// test selects, so exit-code and diagnostic-count assertions stay stable.
+package lib
+
+import "context"
+
+// Detach roots a context in a library (ctxflow).
+func Detach() context.Context {
+	return context.Background()
+}
+
+// Leak launches a join-less goroutine (ctxflow).
+func Leak(f func()) {
+	go f()
+}

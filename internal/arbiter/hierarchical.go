@@ -64,7 +64,7 @@ func (h *HierarchicalRR) Bound(dst Request, competitors []Request, _ model.BankI
 		for _, c := range competitors {
 			slots += minAcc(c.Demand, dst.Demand)
 		}
-		return model.Cycles(slots) * h.WordLatency
+		return model.ScaleAccesses(slots, h.WordLatency)
 	}
 	dstGroup := int(dst.Core) / h.GroupSize
 	var slots model.Accesses
@@ -77,10 +77,11 @@ func (h *HierarchicalRR) Bound(dst Request, competitors []Request, _ model.BankI
 			otherGroups[g] += c.Demand
 		}
 	}
+	//mialint:ignore determinism -- commutative integer sum over group totals; no iteration order can be observed in the result
 	for _, w := range otherGroups {
 		slots += minAcc(w, dst.Demand)
 	}
-	return model.Cycles(slots) * h.WordLatency
+	return model.ScaleAccesses(slots, h.WordLatency)
 }
 
 // Additive implements Arbiter. Level-2 grouping couples competitors of the

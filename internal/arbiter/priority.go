@@ -65,7 +65,7 @@ func (f *FixedPriority) Bound(dst Request, competitors []Request, _ model.BankID
 		}
 	}
 	slots := higher + minAcc(lower, dst.Demand)
-	return model.Cycles(slots) * f.WordLatency
+	return model.ScaleAccesses(slots, f.WordLatency)
 }
 
 // Additive implements Arbiter. The lower-priority blocking term couples

@@ -71,6 +71,7 @@ func New(spec Spec) (Arbiter, error) {
 // Known lists the registered policy names in sorted order.
 func Known() []string {
 	names := make([]string, 0, len(policies))
+	//mialint:ignore determinism -- keys are collected then sorted below; iteration order never reaches the caller
 	for name := range policies {
 		names = append(names, name)
 	}

@@ -50,7 +50,7 @@ func (r *RoundRobin) Bound(dst Request, competitors []Request, _ model.BankID) m
 	for _, c := range competitors {
 		slots += minAcc(c.Demand, dst.Demand)
 	}
-	return model.Cycles(slots) * r.WordLatency
+	return model.ScaleAccesses(slots, r.WordLatency)
 }
 
 // Additive implements Arbiter: the round-robin bound is a sum over
@@ -62,5 +62,5 @@ func (r *RoundRobin) BoundOne(dst, comp Request, _ model.BankID) model.Cycles {
 	if dst.Demand <= 0 {
 		return 0
 	}
-	return model.Cycles(minAcc(comp.Demand, dst.Demand)) * r.WordLatency
+	return model.ScaleAccesses(minAcc(comp.Demand, dst.Demand), r.WordLatency)
 }

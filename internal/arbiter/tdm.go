@@ -49,7 +49,10 @@ func (t *TDM) Bound(dst Request, competitors []Request, _ model.BankID) model.Cy
 	if dst.Demand <= 0 || len(competitors) == 0 || t.Slots <= 1 {
 		return 0
 	}
-	return model.Cycles(dst.Demand) * model.Cycles(t.Slots-1) * t.SlotLength
+	// Every access waits for the other Slots-1 windows of SlotLength each;
+	// the factors are runtime-configured, so the product saturates rather
+	// than wraps on adversarial slot tables.
+	return model.ScaleAccesses(dst.Demand, model.SatMulCycles(model.Cycles(t.Slots-1), t.SlotLength))
 }
 
 // Additive implements Arbiter. The TDM bound is not additive: it jumps to

@@ -102,7 +102,7 @@ func (t *TreeRR) Bound(dst Request, competitors []Request, _ model.BankID) model
 		for _, c := range competitors {
 			slots += minAcc(c.Demand, dst.Demand)
 		}
-		return model.Cycles(slots) * t.WordLatency
+		return model.ScaleAccesses(slots, t.WordLatency)
 	}
 	cap := t.capacity()
 	dstPort := int(dst.Core) % cap
@@ -129,10 +129,11 @@ func (t *TreeRR) Bound(dst Request, competitors []Request, _ model.BankID) model
 			}
 		}
 	}
+	//mialint:ignore determinism -- commutative integer sum over subtree totals; no iteration order can be observed in the result
 	for _, w := range groups {
 		slots += minAcc(w, dst.Demand)
 	}
-	return model.Cycles(slots) * t.WordLatency
+	return model.ScaleAccesses(slots, t.WordLatency)
 }
 
 // Additive implements Arbiter: subtree grouping couples competitors.

@@ -63,7 +63,7 @@ func (w *WeightedRR) Bound(dst Request, competitors []Request, _ model.BankID) m
 		cap := model.Accesses(rounds * w.quantum(c.Core))
 		slots += minAcc(c.Demand, cap)
 	}
-	return model.Cycles(slots) * w.WordLatency
+	return model.ScaleAccesses(slots, w.WordLatency)
 }
 
 // Additive implements Arbiter: the bound is a per-competitor sum.
@@ -77,5 +77,5 @@ func (w *WeightedRR) BoundOne(dst, comp Request, _ model.BankID) model.Cycles {
 	qDst := w.quantum(dst.Core)
 	rounds := (int64(dst.Demand) + qDst - 1) / qDst
 	cap := model.Accesses(rounds * w.quantum(comp.Core))
-	return model.Cycles(minAcc(comp.Demand, cap)) * w.WordLatency
+	return model.ScaleAccesses(minAcc(comp.Demand, cap), w.WordLatency)
 }

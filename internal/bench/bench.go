@@ -159,13 +159,12 @@ type Panel struct {
 	Truncated bool
 }
 
-// RunPanel sweeps every algorithm over the panel's sizes. progress, when
-// non-nil, receives one line per measurement for interactive feedback.
-func RunPanel(cfg Config, algos []Algorithm, progress func(string)) (*Panel, error) {
-	return RunPanelContext(context.Background(), cfg, algos, progress)
-}
-
-// RunPanelContext is RunPanel with caller-controlled cancellation: canceling
+// RunPanelContext sweeps every algorithm over the panel's sizes with
+// caller-controlled cancellation. progress, when non-nil, receives one line
+// per measurement for interactive feedback. There is deliberately no
+// context-free variant: a sweep can run for minutes, and a library that
+// invents its own root context detaches the whole panel from the caller's
+// SIGINT handling (tests pass context.Background explicitly). Canceling
 // ctx aborts in-flight scheduler runs (through their Options.Cancel hook)
 // and stops launching further points. On cancellation the context error is
 // returned together with a non-nil partial panel (Truncated set, unmeasured

@@ -17,7 +17,7 @@ func TestRunPanelQuick(t *testing.T) {
 		Seed: 1,
 	}
 	var progress []string
-	panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()},
+	panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Incremental(), Fixpoint()},
 		func(s string) { progress = append(progress, s) })
 	if err != nil {
 		t.Fatalf("RunPanel: %v", err)
@@ -69,7 +69,7 @@ func TestRunPanelTimeoutSkipsLargerSizes(t *testing.T) {
 		Timeout: 10 * time.Millisecond,
 		Seed:    1,
 	}
-	panel, err := RunPanel(cfg, []Algorithm{Fixpoint()}, nil)
+	panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Fixpoint()}, nil)
 	if err != nil {
 		t.Fatalf("RunPanel: %v", err)
 	}
@@ -88,13 +88,13 @@ func TestRunPanelTimeoutSkipsLargerSizes(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := RunPanel(Config{Family: "XX", Fixed: 4, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
+	if _, err := RunPanelContext(context.Background(), Config{Family: "XX", Fixed: 4, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
 		t.Error("unknown family accepted")
 	}
-	if _, err := RunPanel(Config{Family: "LS", Fixed: 4, Sizes: []int{10}}, []Algorithm{Incremental()}, nil); err == nil {
+	if _, err := RunPanelContext(context.Background(), Config{Family: "LS", Fixed: 4, Sizes: []int{10}}, []Algorithm{Incremental()}, nil); err == nil {
 		t.Error("non-multiple size accepted")
 	}
-	if _, err := RunPanel(Config{Family: "LS", Fixed: 0, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
+	if _, err := RunPanelContext(context.Background(), Config{Family: "LS", Fixed: 0, Sizes: []int{8}}, []Algorithm{Incremental()}, nil); err == nil {
 		t.Error("zero fixed dimension accepted")
 	}
 }
@@ -107,7 +107,7 @@ func TestConfigName(t *testing.T) {
 
 func TestWriteTable(t *testing.T) {
 	cfg := Config{Family: "LS", Fixed: 4, Sizes: []int{16, 32}, Cores: 4, Banks: 4, Seed: 1}
-	panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()}, nil)
+	panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Incremental(), Fixpoint()}, nil)
 	if err != nil {
 		t.Fatalf("RunPanel: %v", err)
 	}
@@ -181,7 +181,7 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 				return func() float64 { return 0.25 }
 			},
 		}
-		panel, err := RunPanel(cfg, []Algorithm{Incremental(), Fixpoint()},
+		panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Incremental(), Fixpoint()},
 			func(string) { progress++ })
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
@@ -224,7 +224,7 @@ func TestParallelTimeoutSkipDeterministic(t *testing.T) {
 		Seed:       1,
 		Jobs:       4,
 	}
-	panel, err := RunPanel(cfg, []Algorithm{Fixpoint()}, nil)
+	panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Fixpoint()}, nil)
 	if err != nil {
 		t.Fatalf("RunPanel: %v", err)
 	}
@@ -241,7 +241,7 @@ func TestParallelTimeoutSkipDeterministic(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	cfg := Config{Family: "NL", Fixed: 4, Sizes: []int{16, 32}, Cores: 4, Banks: 4, Seed: 1}
-	panel, err := RunPanel(cfg, []Algorithm{Incremental()}, nil)
+	panel, err := RunPanelContext(context.Background(), cfg, []Algorithm{Incremental()}, nil)
 	if err != nil {
 		t.Fatalf("RunPanel: %v", err)
 	}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func BenchmarkHillClimbWarmStart(b *testing.B) {
 				opts := Options{MaxEvaluations: 600, Jobs: 1, DisableWarmStart: mode.disable}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := HillClimb(g, opts); err != nil {
+					if _, err := HillClimb(context.Background(), g, opts); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -292,7 +292,11 @@ func applySwap(g *model.Graph, core, pos int) {
 // of receiving a fresh clone per candidate; accepted moves are applied to
 // every clone between rounds, so neighbors are always one swap away from a
 // checkpointed baseline.
-func HillClimb(g *model.Graph, opts Options) (*Result, error) {
+//
+// Cancellation flows from ctx: between rounds the search stops with
+// ctx.Err(), and a cancellation during a round is reported by the worker
+// pool after the in-flight candidates drain.
+func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, error) {
 	cur := g.Clone()
 	if err := cur.Validate(); err != nil {
 		return nil, err
@@ -325,7 +329,10 @@ func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 		if left := budget - res.Evaluations; len(cands) > left {
 			cands = cands[:left]
 		}
-		makespans, err := pool.MapWith(context.Background(), evs, len(cands),
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		makespans, err := pool.MapWith(ctx, evs, len(cands),
 			func(_ context.Context, ev *evaluator, i int) (model.Cycles, error) {
 				return ev.swapEval(cands[i]), nil
 			})
@@ -366,12 +373,15 @@ func HillClimb(g *model.Graph, opts Options) (*Result, error) {
 // is inherently sequential (every accept feeds the next RNG draw), so the
 // chains themselves are the parallelism grain; the outcome is a pure
 // function of (graph, Options) regardless of the jobs level.
-func Anneal(g *model.Graph, opts Options) (*Result, error) {
+//
+// Cancellation flows from ctx: chains not yet started are never launched
+// and Anneal returns ctx.Err() once the running chains drain.
+func Anneal(ctx context.Context, g *model.Graph, opts Options) (*Result, error) {
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
-	chains, err := pool.Map(context.Background(), opts.Jobs, restarts,
+	chains, err := pool.Map(ctx, opts.Jobs, restarts,
 		func(_ context.Context, i int) (*Result, error) {
 			o := opts
 			o.Seed = opts.Seed + int64(i)

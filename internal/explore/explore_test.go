@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"testing"
 
 	"github.com/mia-rt/mia/internal/gen"
@@ -28,7 +29,7 @@ func badOrderGraph(t testing.TB) *model.Graph {
 
 func TestHillClimbImproves(t *testing.T) {
 	g := badOrderGraph(t)
-	res, err := HillClimb(g, Options{})
+	res, err := HillClimb(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatalf("HillClimb: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestHillClimbRespectsDependencies(t *testing.T) {
 	b.AddEdge(p, q, 1)
 	b.AddEdge(q, r, 1)
 	g := b.MustBuild()
-	res, err := HillClimb(g, Options{})
+	res, err := HillClimb(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatalf("HillClimb: %v", err)
 	}
@@ -77,7 +78,7 @@ func TestHillClimbRespectsDependencies(t *testing.T) {
 
 func TestAnnealImproves(t *testing.T) {
 	g := badOrderGraph(t)
-	res, err := Anneal(g, Options{Seed: 3, MaxEvaluations: 400})
+	res, err := Anneal(context.Background(), g, Options{Seed: 3, MaxEvaluations: 400})
 	if err != nil {
 		t.Fatalf("Anneal: %v", err)
 	}
@@ -95,11 +96,11 @@ func TestAnnealImproves(t *testing.T) {
 
 func TestAnnealDeterministic(t *testing.T) {
 	g := badOrderGraph(t)
-	a, err := Anneal(g, Options{Seed: 7, MaxEvaluations: 200})
+	a, err := Anneal(context.Background(), g, Options{Seed: 7, MaxEvaluations: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Anneal(g, Options{Seed: 7, MaxEvaluations: 200})
+	b, err := Anneal(context.Background(), g, Options{Seed: 7, MaxEvaluations: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestBudgetRespected(t *testing.T) {
 	p := gen.NewParams(6, 8)
 	p.Cores, p.Banks = 4, 4
 	g := gen.MustLayered(p)
-	res, err := Anneal(g, Options{Seed: 1, MaxEvaluations: 50})
+	res, err := Anneal(context.Background(), g, Options{Seed: 1, MaxEvaluations: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSearchOnPaperWorkload(t *testing.T) {
 	p := gen.NewParams(5, 8)
 	p.Cores, p.Banks = 4, 2
 	g := gen.MustLayered(p)
-	res, err := HillClimb(g, Options{MaxEvaluations: 300})
+	res, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestHillClimbJobsInvariant(t *testing.T) {
 	p := gen.NewParams(5, 8)
 	p.Cores, p.Banks = 4, 2
 	g := gen.MustLayered(p)
-	ref, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: 1})
+	ref, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 300, Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestHillClimbJobsInvariant(t *testing.T) {
 		t.Fatal("reference search accepted no moves; test would be vacuous")
 	}
 	for _, jobs := range []int{4, 8} {
-		got, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: jobs})
+		got, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 300, Jobs: jobs})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -198,14 +199,14 @@ func TestAnnealRestartsJobsInvariant(t *testing.T) {
 	opts := Options{Seed: 7, MaxEvaluations: 150, Restarts: 4}
 	o1 := opts
 	o1.Jobs = 1
-	ref, err := Anneal(g, o1)
+	ref, err := Anneal(context.Background(), g, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{4, 8} {
 		o := opts
 		o.Jobs = jobs
-		got, err := Anneal(g, o)
+		got, err := Anneal(context.Background(), g, o)
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -220,7 +221,7 @@ func TestAnnealRestartsJobsInvariant(t *testing.T) {
 	// The total must count every chain's work, not just the winner's.
 	solo := opts
 	solo.Restarts, solo.Jobs = 1, 1
-	one, err := Anneal(g, solo)
+	one, err := Anneal(context.Background(), g, solo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,10 +234,10 @@ func TestAnnealRestartsJobsInvariant(t *testing.T) {
 func TestInputGraphUntouched(t *testing.T) {
 	g := badOrderGraph(t)
 	before := append([]model.TaskID(nil), g.Order(0)...)
-	if _, err := HillClimb(g, Options{}); err != nil {
+	if _, err := HillClimb(context.Background(), g, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Anneal(g, Options{Seed: 1}); err != nil {
+	if _, err := Anneal(context.Background(), g, Options{Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	after := g.Order(0)

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,14 +31,14 @@ func warmCorpus(t testing.TB) []*model.Graph {
 // same makespans, evaluation count and accepted move sequence.
 func TestHillClimbWarmStartInvariant(t *testing.T) {
 	for gi, g := range warmCorpus(t) {
-		ref, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: 1, DisableWarmStart: true})
+		ref, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 300, Jobs: 1, DisableWarmStart: true})
 		if err != nil {
 			t.Fatalf("graph[%d]: cold reference: %v", gi, err)
 		}
 		for _, jobs := range []int{1, 4, 8} {
 			for _, disable := range []bool{false, true} {
 				label := fmt.Sprintf("graph[%d] jobs=%d warm=%v", gi, jobs, !disable)
-				got, err := HillClimb(g, Options{MaxEvaluations: 300, Jobs: jobs, DisableWarmStart: disable})
+				got, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 300, Jobs: jobs, DisableWarmStart: disable})
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -61,7 +62,7 @@ func TestAnnealWarmStartInvariant(t *testing.T) {
 		base := Options{Seed: 9, MaxEvaluations: 150, Restarts: 3}
 		refOpts := base
 		refOpts.Jobs, refOpts.DisableWarmStart = 1, true
-		ref, err := Anneal(g, refOpts)
+		ref, err := Anneal(context.Background(), g, refOpts)
 		if err != nil {
 			t.Fatalf("graph[%d]: cold reference: %v", gi, err)
 		}
@@ -70,7 +71,7 @@ func TestAnnealWarmStartInvariant(t *testing.T) {
 				label := fmt.Sprintf("graph[%d] jobs=%d warm=%v", gi, jobs, !disable)
 				o := base
 				o.Jobs, o.DisableWarmStart = jobs, disable
-				got, err := Anneal(g, o)
+				got, err := Anneal(context.Background(), g, o)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -99,11 +100,11 @@ func TestWarmStartWithSchedulerOptions(t *testing.T) {
 		{SeparateCompetitors: true},
 		{DisableFastPath: true},
 	} {
-		ref, err := HillClimb(g, Options{MaxEvaluations: 200, Jobs: 1, Sched: so, DisableWarmStart: true})
+		ref, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 200, Jobs: 1, Sched: so, DisableWarmStart: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := HillClimb(g, Options{MaxEvaluations: 200, Jobs: 4, Sched: so})
+		got, err := HillClimb(context.Background(), g, Options{MaxEvaluations: 200, Jobs: 4, Sched: so})
 		if err != nil {
 			t.Fatal(err)
 		}

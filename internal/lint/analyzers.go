@@ -1,0 +1,27 @@
+package lint
+
+// All returns the full mialint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{BoundedInput, CtxFlow, Determinism, HotPathAlloc}
+}
+
+// ByName resolves a subset of All by analyzer name; unknown names return
+// nil so the caller can report them.
+func ByName(names []string) []*Analyzer {
+	all := All()
+	var out []*Analyzer
+	for _, n := range names {
+		var found *Analyzer
+		for _, a := range all {
+			if a.Name == n {
+				found = a
+				break
+			}
+		}
+		if found == nil {
+			return nil
+		}
+		out = append(out, found)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedInput extends the model.MaxInput overflow guard from validation
+// time to review time. Validate bounds every externally supplied magnitude
+// (WCET, minimal release, per-bank demand, edge volume) to 2^40 so that
+// linear accumulations over ≤2^20 tasks stay below Infinity (2^62) in int64
+// arithmetic — but that budget only covers sums. Multiplying two runtime
+// quantities (2^40 · 2^40 ≫ 2^63) silently wraps, so every `*` whose
+// operands are model quantities (model.Cycles, model.Accesses) outside the
+// MaxInput-checked helpers is flagged. A helper counts as checked when it
+// references model.MaxInput itself (it enforces its own bound, like
+// Validate and the stg/json readers) or lives in internal/model.
+//
+// Products with a compile-time-constant factor are accepted: the reviewer
+// can bound them by inspection, and flagging `2*wcet` would drown the
+// signal.
+var BoundedInput = &Analyzer{
+	Name: "boundedinput",
+	Doc:  "flag multiplication of model quantities outside MaxInput-checked helpers",
+	Run:  runBoundedInput,
+}
+
+func runBoundedInput(p *Pass) error {
+	if strings.Contains(p.Pkg.PkgPath, "internal/model") {
+		return nil // the package that defines and enforces the bound
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || referencesMaxInput(p, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || be.Op != token.MUL {
+					return true
+				}
+				if isConstExpr(p.Pkg.Info, be.X) || isConstExpr(p.Pkg.Info, be.Y) {
+					return true
+				}
+				if isModelQuantity(p.Pkg.Info.TypeOf(be.X)) || isModelQuantity(p.Pkg.Info.TypeOf(be.Y)) {
+					p.Reportf(be.OpPos, "product of model quantities can overflow int64 (inputs are only bounded to MaxInput=2^40 each); bound one factor against model.MaxInput in this helper or justify with //mialint:ignore boundedinput -- <why the product stays below 2^62>")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isModelQuantity reports whether t is one of the bounded scalar types of
+// the model package. Matching by (package name, type name) rather than full
+// import path keeps the analyzer testable against fixture modules.
+func isModelQuantity(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "model" {
+		return false
+	}
+	return obj.Name() == "Cycles" || obj.Name() == "Accesses"
+}
+
+// referencesMaxInput reports whether the function body mentions the
+// model.MaxInput bound, marking it as a checked helper.
+func referencesMaxInput(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && id.Name == "MaxInput" {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "model" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

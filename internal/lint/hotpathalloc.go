@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose steady state must not allocate.
+// The incremental scheduler's event loop carries this contract (pinned by
+// AllocsPerRun guards); the analyzer moves the check from the benchmark to
+// the line that would break it.
+const hotpathDirective = "//mia:hotpath"
+
+// HotPathAlloc flags allocating constructs inside functions annotated
+// //mia:hotpath. The AllocsPerRun guard tests observe the steady state of
+// one specific workload; this analyzer also covers the branches that
+// workload never takes (cold paths of the fast path), where an allocation
+// hides until a production graph shape finds it.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //mia:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(p *Pass) error {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotPathBody(p, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the declaration's doc comment carries the
+// //mia:hotpath directive line.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+
+	// The amortized reuse idiom `x = append(x[:0], ...)` / `x = append(x,
+	// ...)` is the one append form the hot path is allowed: its steady
+	// state writes into retained backing arrays. Any append whose result
+	// lands anywhere else (fresh variable, argument, return) is a fresh
+	// slice per call. Collect the sanctioned calls first.
+	reuseAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+				reuseAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	var results *types.Tuple
+	if sig, ok := info.Defs[fd.Name].(*types.Func); ok {
+		results = sig.Type().(*types.Signature).Results()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in //mia:hotpath function allocates; hoist the function to a method or package-level func")
+			return false // the closure body is not the hot path's steady state
+		case *ast.CallExpr:
+			checkHotPathCall(p, info, n, reuseAppend)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "&composite literal in //mia:hotpath function escapes to the heap; reuse a pooled value instead")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					p.Reportf(n.Pos(), "slice literal in //mia:hotpath function allocates its backing array; reuse a retained buffer")
+				case *types.Map:
+					p.Reportf(n.Pos(), "map literal in //mia:hotpath function allocates; reuse a retained map or index by dense IDs")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && isStringType(tv.Type) && !isConstExpr(info, n) {
+					p.Reportf(n.Pos(), "string concatenation in //mia:hotpath function allocates; format off the hot path")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(p, info, info.TypeOf(n.Lhs[i]), rhs, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					checkBoxing(p, info, results.At(i).Type(), r, "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(p *Pass, info *types.Info, call *ast.CallExpr, reuseAppend map[*ast.CallExpr]bool) {
+	// Builtins that always (or, for non-reuse append forms, per-call)
+	// allocate.
+	switch {
+	case isBuiltin(info, call, "make"):
+		p.Reportf(call.Pos(), "make in //mia:hotpath function allocates; size buffers at construction and reuse them")
+	case isBuiltin(info, call, "new"):
+		p.Reportf(call.Pos(), "new in //mia:hotpath function allocates; reuse a pooled value")
+	case isBuiltin(info, call, "append"):
+		if !reuseAppend[call] {
+			p.Reportf(call.Pos(), "append result is not assigned back to its source (x = append(x, ...)); this form builds a fresh slice per call")
+		}
+	}
+
+	// String conversions from byte/rune slices copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isStringType(tv.Type) {
+			if _, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+				p.Reportf(call.Pos(), "string conversion from a slice in //mia:hotpath function copies; keep the []byte form on the hot path")
+			}
+		}
+	}
+
+	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "fmt.%s in //mia:hotpath function allocates (formatting state and boxed operands); format off the hot path", fn.Name())
+		return // the call is already banned; per-argument boxing reports would be noise
+	}
+
+	// Implicit interface boxing of call arguments: passing a non-pointer
+	// concrete value where an interface is expected heap-allocates the box.
+	// Type conversions have a non-signature Fun type, so they fall out here.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding an existing slice: no per-element boxing here
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(p, info, param, arg, "argument")
+	}
+}
+
+// checkBoxing reports when expr's concrete value is implicitly converted to
+// an interface-typed destination, which heap-allocates the box for every
+// value kind that is not already pointer-shaped.
+func checkBoxing(p *Pass, info *types.Info, dst types.Type, expr ast.Expr, what string) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	src := info.TypeOf(expr)
+	if src == nil || isPointerShaped(src) {
+		return
+	}
+	if _, ok := src.(*types.Tuple); ok {
+		return // multi-value assignment mismatch; not a conversion site
+	}
+	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+		return // constants up to the compiler's staticuint64s table; accept
+	}
+	p.Reportf(expr.Pos(), "%s implicitly boxes %s into an interface, which allocates on the //mia:hotpath; pass a concrete type or a pointer", what, src)
+}
+
+// isPointerShaped reports whether values of t fit in an interface word
+// without a heap box: pointers, channels, maps, funcs, unsafe pointers, nil,
+// and interfaces themselves (interface-to-interface conversions copy the
+// word pair).
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the typechecker folded expr to a constant.
+func isConstExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}

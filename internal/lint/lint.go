@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single type-checked package
+// through its Pass and reports findings with Pass.Reportf; the driver owns
+// suppression, ordering, and aggregation.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a diagnostic at pos. The driver drops it silently when a
+// //mialint:ignore directive covers the position for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// directiveAnalyzer is the pseudo-analyzer name under which malformed
+// //mialint:ignore directives are reported. It is not suppressible.
+const directiveAnalyzer = "mialint"
+
+// ignoreDirective is one parsed //mialint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string // empty means the directive was malformed
+	used      bool
+}
+
+// covers reports whether the directive suppresses analyzer a at the given
+// position: same file, on the directive's line or the line directly below
+// (the standalone-comment-above-the-construct form).
+func (ig *ignoreDirective) covers(analyzer string, pos token.Position) bool {
+	if pos.Filename != ig.file || (pos.Line != ig.line && pos.Line != ig.line+1) {
+		return false
+	}
+	for _, a := range ig.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores scans a package's comments for //mialint:ignore directives.
+// Malformed directives (no analyzer list, or no " -- reason") are returned
+// as diagnostics: a suppression that does not document its justification is
+// itself a violation, which is what makes the escape hatch auditable.
+func parseIgnores(pkg *Package, known map[string]bool) (igs []*ignoreDirective, malformed []Diagnostic) {
+	const prefix = "//mialint:ignore"
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //mialint:ignoreXYZ — not our directive
+				}
+				names, reason, ok := strings.Cut(rest, "--")
+				reason = strings.TrimSpace(reason)
+				var list []string
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					list = append(list, n)
+				}
+				switch {
+				case !ok || reason == "":
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: directiveAnalyzer,
+						Message:  "//mialint:ignore requires a reason: //mialint:ignore <analyzer> -- <why the invariant holds anyway>",
+					})
+				case len(list) == 0:
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: directiveAnalyzer,
+						Message:  "//mialint:ignore names no analyzer to suppress",
+					})
+				default:
+					for _, n := range list {
+						if !known[n] {
+							malformed = append(malformed, Diagnostic{
+								Pos:      pos,
+								Analyzer: directiveAnalyzer,
+								Message:  fmt.Sprintf("//mialint:ignore names unknown analyzer %q", n),
+							})
+						}
+					}
+					igs = append(igs, &ignoreDirective{file: pos.Filename, line: pos.Line, analyzers: list})
+				}
+			}
+		}
+	}
+	return igs, malformed
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Unused //mialint:ignore directives are
+// reported too: a suppression that no longer suppresses anything is stale
+// documentation and must be deleted rather than accumulate.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		igs, malformed := parseIgnores(pkg, known)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass.report = func(pos token.Pos, msg string) {
+				p := pkg.Fset.Position(pos)
+				for _, ig := range igs {
+					if ig.covers(a.Name, p) {
+						ig.used = true
+						return
+					}
+				}
+				diags = append(diags, Diagnostic{Pos: p, Analyzer: a.Name, Message: msg})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, ig := range igs {
+			if !ig.used && allKnown(ig.analyzers, known) {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: ig.file, Line: ig.line, Column: 1},
+					Analyzer: directiveAnalyzer,
+					Message:  fmt.Sprintf("//mialint:ignore %s suppresses nothing; delete it", strings.Join(ig.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allKnown reports whether every named analyzer is part of this run; an
+// ignore for an analyzer that was filtered out of the run is not "unused".
+func allKnown(names []string, known map[string]bool) bool {
+	for _, n := range names {
+		if !known[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// inspect walks every file of the pass's package in source order.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls of function-typed values.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked package — the unit a Pass
+// analyzes. Only production files are loaded (no _test.go): the invariants
+// the analyzers guard live in shipped code, and tests are exactly where
+// constructs like context.Background are legitimate.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns in the module rooted at (or
+// containing) dir, parses their production Go files, and type-checks them in
+// dependency order. Imports that resolve inside the listed set are wired to
+// the freshly checked packages; everything else (the standard library) is
+// type-checked from source via go/importer, so no compiled export data and
+// no network access are required.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := make(map[string]*Package, len(listed))
+	imp := &moduleImporter{std: std, module: byPath, checked: checked}
+
+	var pkgs []*Package
+	var visit func(lp *listedPackage) error
+	visiting := make(map[string]bool)
+	visit = func(lp *listedPackage) error {
+		if checked[lp.ImportPath] != nil {
+			return nil
+		}
+		if visiting[lp.ImportPath] {
+			return fmt.Errorf("lint: import cycle through %s", lp.ImportPath)
+		}
+		visiting[lp.ImportPath] = true
+		defer delete(visiting, lp.ImportPath)
+		for _, dep := range lp.Imports {
+			if next, ok := byPath[dep]; ok {
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return err
+		}
+		checked[lp.ImportPath] = pkg
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, lp := range listed {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// goList shells out to `go list -json` in dir. GOPROXY is forced off: every
+// package the linter can load type-checks from local source alone, and a
+// lint run must never become a network fetch.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Imports,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+	return listed, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// moduleImporter resolves imports against the freshly checked module
+// packages first and falls back to the source importer for the standard
+// library. The fallback results are cached so the stdlib is checked once
+// per Load.
+type moduleImporter struct {
+	std     types.Importer
+	module  map[string]*listedPackage
+	checked map[string]*Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, ok := m.module[path]; ok {
+		return nil, fmt.Errorf("lint: module package %s imported before it was checked", path)
+	}
+	return m.std.Import(path)
+}

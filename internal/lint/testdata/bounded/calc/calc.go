@@ -1,0 +1,40 @@
+// Package calc exercises the boundedinput analyzer outside internal/model.
+package calc
+
+import "example.com/bounded/internal/model"
+
+// Raw multiplies two runtime quantities with no bound in sight.
+func Raw(a, b model.Cycles) model.Cycles {
+	return a * b // want boundedinput:"product of model quantities can overflow int64"
+}
+
+// Mixed catches products through conversions as long as one operand keeps
+// the model type.
+func Mixed(n model.Accesses, per model.Cycles) model.Cycles {
+	return model.Cycles(n) * per // want boundedinput:"product of model quantities can overflow int64"
+}
+
+// ConstFactor scales by a compile-time constant: bounded by inspection.
+func ConstFactor(a model.Cycles) model.Cycles {
+	return 2 * a
+}
+
+// Checked references model.MaxInput, marking this function as a checked
+// helper that enforces its own bound.
+func Checked(a, b model.Cycles) (model.Cycles, bool) {
+	if a > model.MaxInput || b > model.MaxInput {
+		return 0, false
+	}
+	return a * b, true
+}
+
+// Justified uses the escape hatch with the mandatory reason.
+func Justified(a, b model.Cycles) model.Cycles {
+	//mialint:ignore boundedinput -- both factors are percentages <= 100 by construction
+	return a * b
+}
+
+// PlainInts multiplies unbounded non-model integers: out of scope.
+func PlainInts(a, b int64) int64 {
+	return a * b
+}

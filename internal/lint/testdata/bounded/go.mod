@@ -1,0 +1,3 @@
+module example.com/bounded
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package model mirrors the real model package's bounded scalar types: the
+// boundedinput analyzer matches quantities by (package name, type name) and
+// exempts internal/model itself, where the checked helpers live.
+package model
+
+// Cycles counts time in clock cycles.
+type Cycles int64
+
+// Accesses counts shared-memory accesses.
+type Accesses int64
+
+// MaxInput bounds every externally supplied magnitude.
+const MaxInput = 1 << 40
+
+// Scale is a checked helper: internal/model may multiply freely.
+func Scale(n Accesses, per Cycles) Cycles {
+	return Cycles(n) * per
+}

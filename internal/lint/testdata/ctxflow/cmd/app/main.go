@@ -1,0 +1,16 @@
+// Command app is package main: the one place a context root belongs.
+package main
+
+import (
+	"context"
+
+	"example.com/ctxflow/lib"
+)
+
+func main() {
+	ctx := context.Background() // roots are legal in main
+	if err := lib.Run(ctx, 1); err != nil {
+		panic(err)
+	}
+	go func() {}() // joins are main's own responsibility; not flagged here
+}

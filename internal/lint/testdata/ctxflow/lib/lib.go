@@ -1,0 +1,61 @@
+// Package lib exercises the ctxflow analyzer's library-package rules:
+// context roots are banned, context parameters come first, goroutines need
+// a visible join.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+// Detach invents a root context inside a library.
+func Detach() context.Context {
+	return context.Background() // want ctxflow:"context.Background in a library package"
+}
+
+// Todo does the same with TODO.
+func Todo() context.Context {
+	return context.TODO() // want ctxflow:"context.TODO in a library package"
+}
+
+// Sweep takes its context second.
+func Sweep(n int, ctx context.Context) error { // want ctxflow:"Sweep takes context.Context at parameter 1"
+	return ctx.Err()
+}
+
+// Run takes its context first: allowed.
+func Run(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// FireAndForget launches a goroutine nothing ever joins.
+func FireAndForget(f func()) {
+	go func() { // want ctxflow:"goroutine has no visible join"
+		f()
+	}()
+}
+
+// Joined launches a WaitGroup-bracketed worker: allowed.
+func Joined(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+// Replied launches a goroutine that reports completion on a channel:
+// allowed.
+func Replied(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}
+
+// Justified documents why its goroutine outlives the call.
+func Justified(f func()) {
+	//mialint:ignore ctxflow -- joined by the process-lifetime supervisor in the caller
+	go f()
+}

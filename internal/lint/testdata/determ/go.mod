@@ -1,0 +1,3 @@
+module example.com/determ
+
+go 1.22

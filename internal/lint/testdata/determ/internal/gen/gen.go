@@ -1,0 +1,17 @@
+// Package gen is outside the analysis core: the determinism analyzer does
+// not apply, so the same constructs draw no diagnostics here.
+package gen
+
+import "time"
+
+// Stamp may read the wall clock: generators and harnesses are allowed to.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Count may range a map: nothing in this package feeds the schedulers.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+// Package sched is a determinism-scoped fixture: its import path contains
+// internal/sched, so the determinism analyzer applies in full.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads the wall clock inside the analysis core.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want determinism:"time.Now in the analysis core"
+}
+
+// GlobalRand draws from the process-global generator.
+func GlobalRand() int {
+	return rand.Intn(10) // want determinism:"unseeded rand.Intn"
+}
+
+// GlobalShuffle reseeds and shuffles via global state: two violations.
+func GlobalShuffle(xs []int) {
+	rand.Seed(42)                                                         // want determinism:"unseeded rand.Seed"
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want determinism:"unseeded rand.Shuffle"
+}
+
+// SeededRand builds an explicit generator: allowed.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// SumWeights accumulates over an unordered map range.
+func SumWeights(w map[string]int) int {
+	total := 0
+	for _, v := range w { // want determinism:"map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys collects and sorts before iterating: the slice range after the
+// justified collection loop is not flagged.
+func SortedKeys(w map[string]int) []string {
+	keys := make([]string, 0, len(w))
+	//mialint:ignore determinism -- keys are sorted below before any order-sensitive use
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

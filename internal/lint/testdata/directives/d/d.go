@@ -1,0 +1,18 @@
+// Package d exercises the mialint pseudo-analyzer: a malformed or stale
+// //mialint:ignore directive is itself a diagnostic, and is never
+// suppressible. The want expectations ride inside the directive comments
+// because the driver reports at the directive's own line.
+package d
+
+// Placeholder exists so the directives have a function to sit in.
+func Placeholder() int {
+	x := 1
+	//mialint:ignore determinism // want mialint:"requires a reason"
+	x++
+	//mialint:ignore -- just because // want mialint:"names no analyzer to suppress"
+	x++
+	//mialint:ignore nosuchcheck -- covered elsewhere // want mialint:"unknown analyzer \"nosuchcheck\""
+	x++
+	//mialint:ignore determinism -- nothing here draws randomness // want mialint:"suppresses nothing; delete it"
+	return x
+}

@@ -1,0 +1,3 @@
+module example.com/directives
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package hp exercises the hotpathalloc analyzer: only functions annotated
+// //mia:hotpath are checked, and every allocating construct class has a
+// positive case here.
+package hp
+
+import "fmt"
+
+type item struct{ a, b int }
+
+type sink interface{ accept() }
+
+func (item) accept() {}
+
+type state struct {
+	buf   []int
+	items []item
+	name  string
+}
+
+// step is the annotated steady-state function.
+//
+//mia:hotpath
+func (s *state) step(n int) {
+	s.name = fmt.Sprintf("step-%d", n) // want hotpathalloc:"fmt.Sprintf in //mia:hotpath function allocates"
+	tmp := make([]int, n)              // want hotpathalloc:"make in //mia:hotpath function allocates"
+	p := new(item)                     // want hotpathalloc:"new in //mia:hotpath function allocates"
+	q := &item{a: n}                   // want hotpathalloc:"&composite literal in //mia:hotpath function escapes"
+	pair := []int{n, n}                // want hotpathalloc:"slice literal in //mia:hotpath function allocates"
+	idx := map[int]int{n: n}           // want hotpathalloc:"map literal in //mia:hotpath function allocates"
+	f := func() int { return n }       // want hotpathalloc:"closure literal in //mia:hotpath function allocates"
+	_ = s.name + "!"                   // want hotpathalloc:"string concatenation in //mia:hotpath function allocates"
+	_, _, _, _, _, _ = tmp, p, q, pair, idx, f
+}
+
+// grow exercises the append forms: assigning back into the source slice is
+// the sanctioned reuse idiom, everything else builds a fresh slice.
+//
+//mia:hotpath
+func (s *state) grow(v int) []int {
+	s.buf = append(s.buf, v)            // reuse idiom: allowed
+	s.buf = append(s.buf[:0], v)        // reset-reuse idiom: allowed
+	fresh := append(s.buf, v)           // want hotpathalloc:"append result is not assigned back"
+	return append([]int(nil), fresh...) // want hotpathalloc:"append result is not assigned back"
+}
+
+// box exercises implicit interface conversions.
+//
+//mia:hotpath
+func (s *state) box(it item) {
+	var x sink
+	x = it         // want hotpathalloc:"assignment implicitly boxes"
+	consume(it)    // want hotpathalloc:"argument implicitly boxes"
+	consume(&it)   // pointers are interface-word sized: allowed
+	consumeAny(42) // constants: allowed
+	_ = x
+}
+
+// convert exercises the slice-to-string copy.
+//
+//mia:hotpath
+func (s *state) convert(b []byte) string {
+	return string(b) // want hotpathalloc:"string conversion from a slice"
+}
+
+// justified demonstrates the escape hatch.
+//
+//mia:hotpath
+func (s *state) justified(n int) {
+	//mialint:ignore hotpathalloc -- init-only branch, guarded by the nil check
+	s.buf = make([]int, n)
+}
+
+// cold is NOT annotated: the same constructs draw no diagnostics.
+func (s *state) cold(n int) []int {
+	tmp := make([]int, n)
+	tmp = append(tmp, n)
+	s.name = fmt.Sprintf("cold-%d", n)
+	return tmp
+}
+
+func consume(v sink)   { v.accept() }
+func consumeAny(v any) { _ = v }

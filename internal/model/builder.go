@@ -118,8 +118,14 @@ func (b *Builder) Build() (*Graph, error) {
 	if err := g.defaultOrder(); err != nil {
 		return nil, err
 	}
-	for k, order := range b.orders {
-		g.SetOrder(k, order)
+	// Apply explicit orders core by core rather than ranging over the map:
+	// SetOrder calls are independent per core, but iterating cores in index
+	// order keeps Build's entire effect sequence deterministic (and keeps
+	// the determinism analyzer's map-range ban hit-free in this package).
+	for k := CoreID(0); int(k) < b.cores; k++ {
+		if order, ok := b.orders[k]; ok {
+			g.SetOrder(k, order)
+		}
 	}
 	policy := b.bankOf
 	if policy == nil {

@@ -46,7 +46,7 @@ func Unroll(g *model.Graph, period model.Cycles, iterations int) (*model.Graph, 
 				Name:       name,
 				WCET:       t.WCET,
 				Core:       t.Core,
-				MinRelease: t.MinRelease + model.Cycles(k)*period,
+				MinRelease: t.MinRelease + model.SatMulCycles(model.Cycles(k), period),
 				Local:      t.Local,
 			})
 		}
@@ -97,7 +97,7 @@ func IterationMakespans(res *sched.Result, tasksPerIteration, iterations int) []
 func CheckDeadlines(res *sched.Result, tasksPerIteration, iterations int, period model.Cycles) int {
 	spans := IterationMakespans(res, tasksPerIteration, iterations)
 	for k, fin := range spans {
-		if fin > model.Cycles(k+1)*period {
+		if fin > model.SatMulCycles(model.Cycles(k+1), period) {
 			return k
 		}
 	}
@@ -111,5 +111,5 @@ func CheckDeadlines(res *sched.Result, tasksPerIteration, iterations int, period
 func SteadyStateSlack(res *sched.Result, tasksPerIteration, iterations int, period model.Cycles) model.Cycles {
 	spans := IterationMakespans(res, tasksPerIteration, iterations)
 	last := iterations - 1
-	return model.Cycles(last+1)*period - spans[last]
+	return model.SatMulCycles(model.Cycles(last+1), period) - spans[last]
 }

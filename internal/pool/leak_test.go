@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the process goroutine count drops back to the
+// baseline (scheduler needs a beat to retire exited goroutines) or the
+// deadline passes.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestMapJoinsWorkersOnCancellation pins the join contract of the worker
+// goroutines in mapIndexed (the site the ctxflow analyzer audits): even
+// when the sweep is canceled mid-flight, Map must not return before every
+// worker has exited.
+func TestMapJoinsWorkersOnCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 8, 1000, func(ctx context.Context, i int) (int, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		return i, ctx.Err()
+	})
+	if err == nil {
+		t.Log("sweep completed before cancellation; join still asserted")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestRunnerDrainJoinsWorkers pins the join contract of the NewRunner
+// worker goroutines: Drain must not return before every worker has exited.
+func TestRunnerDrainJoinsWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := NewRunner([]int{0, 1, 2, 3}, 16)
+	for i := 0; i < 64; i++ {
+		for !r.TrySubmit(func(int) { time.Sleep(time.Microsecond) }) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	r.Drain()
+	waitGoroutines(t, baseline)
+}

@@ -105,7 +105,7 @@ func (s *System) coreDemand(k model.CoreID, w model.Cycles) model.Accesses {
 			continue
 		}
 		jobs := ceilDiv(w, t.T) + 1 // +1 carry-in
-		demand += model.Accesses(jobs) * t.Accesses
+		demand += model.SatMulAccesses(model.Accesses(jobs), t.Accesses)
 	}
 	return demand
 }
@@ -143,8 +143,8 @@ func (s *System) Analyze() (*Result, error) {
 					continue
 				}
 				jobs := ceilDiv(r, other.T)
-				next += jobs * other.C
-				ownAccesses += model.Accesses(jobs) * other.Accesses
+				next += model.SatMulCycles(jobs, other.C)
+				ownAccesses += model.SatMulAccesses(model.Accesses(jobs), other.Accesses)
 			}
 			// Round-robin bus interference: each access issued on this
 			// core during the window can be delayed once per other core,
@@ -160,7 +160,7 @@ func (s *System) Analyze() (*Result, error) {
 					busSlots += ownAccesses
 				}
 			}
-			next += model.Cycles(busSlots) * latency
+			next += model.ScaleAccesses(busSlots, latency)
 			if next > task.D {
 				res.Response[i] = next
 				res.Schedulable[i] = false

@@ -17,8 +17,8 @@ import (
 // is auditable — the acceptance bar is ≥ 200 instances.
 func differentialCorpus() []gen.Params {
 	shapes := []struct {
-		family           string
-		layers, size     int
+		family       string
+		layers, size int
 	}{
 		{"LS", 8, 4}, {"LS", 12, 4}, {"LS", 6, 8}, // fixed small layer size, growing depth
 		{"NL", 4, 8}, {"NL", 4, 12}, {"NL", 6, 10}, // fixed shallow depth, growing width

@@ -158,6 +158,8 @@ func newState(g *model.Graph, opts sched.Options) *state {
 // execution orders were mutated — at zero steady-state allocation cost.
 // Min-release dates and dependency counts are order-independent, so they are
 // rebuilt from the graph without re-sorting.
+//
+//mia:hotpath
 func (s *state) reset() {
 	n := s.g.NumTasks()
 	for i := 0; i < n; i++ {
@@ -192,6 +194,9 @@ func (s *state) emit(kind sched.EventKind, t model.Cycles, task model.TaskID, va
 	}
 }
 
+// run is the event loop of Algorithm 1.
+//
+//mia:hotpath steady-state event loop: 0 allocs/op pinned by alloc_test.go
 func (s *state) run() (*sched.Result, error) {
 	n := s.g.NumTasks()
 	for s.closed < n {
@@ -255,6 +260,8 @@ func (s *state) run() (*sched.Result, error) {
 }
 
 // closeAt closes every alive task whose finish date equals t.
+//
+//mia:hotpath
 func (s *state) closeAt(t model.Cycles) {
 	for k := range s.slots {
 		sl := &s.slots[k]
@@ -275,6 +282,8 @@ func (s *state) closeAt(t model.Cycles) {
 // openAt opens, on every idle core, the head of the execution order if its
 // dependencies are closed and its minimal release date has passed, fixing
 // its release date to t and exchanging interference with the alive set.
+//
+//mia:hotpath
 func (s *state) openAt(t model.Cycles) {
 	for k := range s.slots {
 		sl := &s.slots[k]
@@ -323,6 +332,8 @@ func (s *state) openAt(t model.Cycles) {
 
 // addCompetitor accounts src's demand against dst (alive in slot sl) on
 // every bank they share, and refreshes dst's interference and finish date.
+//
+//mia:hotpath
 func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src *model.Task) {
 	var grew model.Cycles
 	banks := len(dst.Demand)
@@ -346,6 +357,8 @@ func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src *model.Task) {
 
 // accountOnBank merges src's demand w into dst's competitor set on bank b
 // and returns the growth of dst's interference bound on that bank.
+//
+//mia:hotpath
 func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d, w model.Accesses) model.Cycles {
 	dstReq := arbiter.Request{Core: dst.Core, Demand: d}
 	comps := sl.comp[b]
@@ -408,6 +421,8 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 
 // recomputeBank re-evaluates the full arbiter bound for one bank (the
 // general, non-additive path) and returns the growth.
+//
+//mia:hotpath
 func (s *state) recomputeBank(sl *slot, dstReq arbiter.Request, b model.BankID) model.Cycles {
 	bound := s.arb.Bound(dstReq, sl.comp[b], b)
 	delta := bound - s.res.PerBank[sl.task][b]

@@ -114,6 +114,8 @@ func (sc *Scheduler) Schedule() (*sched.Result, error) {
 // verdict for the mutated graph likewise leaves the baseline intact. If no
 // valid baseline exists (never scheduled, or the last cold run failed),
 // Reschedule behaves as Schedule, committing the current orders.
+//
+//mia:hotpath warm replay: 0 allocs/op pinned by alloc_test.go
 func (sc *Scheduler) Reschedule(edits ...Edit) (*sched.Result, error) {
 	if !sc.base {
 		return sc.Schedule()
@@ -153,6 +155,8 @@ func (sc *Scheduler) Checkpoints() int { return len(sc.snaps) }
 // checkpoint is the state's event-boundary hook: during recording runs it
 // captures every stride-th event into the store, compacting (drop every
 // other checkpoint, double the stride) when the store outgrows its bound.
+//
+//mia:hotpath
 func (sc *Scheduler) checkpoint() {
 	if !sc.recording {
 		return
@@ -200,6 +204,8 @@ func (sc *Scheduler) compact() {
 // head index reached From). Head indices only grow and an idle core at From
 // stays idle until From opens, so safety is a prefix property over the run —
 // the latest safe checkpoint is the best restart point.
+//
+//mia:hotpath
 func snapSafe(sn *snapshot, edits []Edit) bool {
 	for _, e := range edits {
 		h := sn.headIdx[e.Core]
@@ -242,18 +248,23 @@ type slotSnap struct {
 }
 
 // capture deep-copies the state into the snapshot, reusing its buffers.
+//
+//mia:hotpath buffers are revived across captures; first capture warms them
 func (sn *snapshot) capture(s *state) {
 	sn.t, sn.events, sn.closed, sn.relPtr = s.t, s.events, s.closed, s.relPtr
 	sn.headIdx = append(sn.headIdx[:0], s.headIdx...)
 	sn.depsLeft = append(sn.depsLeft[:0], s.depsLeft...)
 	if sn.slots == nil {
+		//mialint:ignore hotpathalloc -- one-time buffer birth on a snapshot entry's first capture; nil-guarded, steady-state captures reuse
 		sn.slots = make([]slotSnap, len(s.slots))
 	}
 	for k := range s.slots {
 		sl, ss := &s.slots[k], &sn.slots[k]
 		ss.task, ss.finish = sl.task, sl.finish
 		if ss.comp == nil {
+			//mialint:ignore hotpathalloc -- one-time buffer birth on a snapshot entry's first capture; nil-guarded, steady-state captures reuse
 			ss.comp = make([][]arbiter.Request, len(sl.comp))
+			//mialint:ignore hotpathalloc -- one-time buffer birth on a snapshot entry's first capture; nil-guarded, steady-state captures reuse
 			ss.terms = make([][]model.Cycles, len(sl.terms))
 		}
 		for b := range sl.comp {
@@ -269,6 +280,8 @@ func (sn *snapshot) capture(s *state) {
 
 // restore copies the snapshot back into the working state, rebuilding the
 // per-core competitor index from the restored competitor sets.
+//
+//mia:hotpath
 func (s *state) restore(sn *snapshot) {
 	s.t, s.events, s.closed, s.relPtr = sn.t, sn.events, sn.closed, sn.relPtr
 	copy(s.headIdx, sn.headIdx)

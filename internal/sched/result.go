@@ -70,6 +70,8 @@ func (r *Result) FlatPerBank() []model.Cycles { return r.flat }
 // Reset zeroes every per-task quantity and the aggregate fields in place,
 // keeping all buffers, so that a pooled Result can be reused across
 // scheduling runs without reallocation.
+//
+//mia:hotpath
 func (r *Result) Reset() {
 	for i := range r.Release {
 		r.Release[i] = 0
@@ -103,6 +105,8 @@ func (r *Result) Window(id model.TaskID) (from, to model.Cycles) {
 }
 
 // RecomputeMakespan refreshes Makespan from the per-task values.
+//
+//mia:hotpath
 func (r *Result) RecomputeMakespan() {
 	var m model.Cycles
 	for i := range r.Release {

@@ -153,7 +153,7 @@ func Run(g *model.Graph, release []model.Cycles, cfg Config) (*Outcome, error) {
 	if horizon <= 0 {
 		var work model.Cycles
 		for _, task := range g.Tasks() {
-			work += task.WCET + model.Cycles(task.TotalDemand())*latency
+			work += task.WCET + model.ScaleAccesses(task.TotalDemand(), latency)
 			if task.MinRelease > horizon {
 				horizon = task.MinRelease
 			}
@@ -307,7 +307,7 @@ func buildOps(task *model.Task, cfg Config, latency model.Cycles, rng *rand.Rand
 			accesses = append(accesses, op{bank: model.BankID(b)})
 		}
 	}
-	compute := wcet - model.Cycles(len(accesses))*latency
+	compute := wcet - model.ScaleAccesses(model.Accesses(len(accesses)), latency)
 	ops := make([]op, 0, int(compute)+len(accesses))
 	switch cfg.Pattern {
 	case Back:

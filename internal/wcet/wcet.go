@@ -50,7 +50,10 @@ func (c Cost) add(o Cost) Cost {
 
 // times scales by a loop bound.
 func (c Cost) times(n int64) Cost {
-	return Cost{Cycles: c.Cycles * model.Cycles(n), Accesses: c.Accesses * model.Accesses(n)}
+	return Cost{
+		Cycles:   model.SatMulCycles(c.Cycles, model.Cycles(n)),
+		Accesses: model.SatMulAccesses(c.Accesses, model.Accesses(n)),
+	}
 }
 
 // Block is a basic block: Compute cycles of pure computation plus Loads +
@@ -74,7 +77,7 @@ func (b Block) analyze(bool) (Cost, error) {
 	}
 	acc := b.Loads + b.Stores
 	return Cost{
-		Cycles:   b.Compute + model.Cycles(acc)*per,
+		Cycles:   b.Compute + model.ScaleAccesses(acc, per),
 		Accesses: acc,
 	}, nil
 }
