@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke ci clean
+.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke engine-diff ci clean
 
 all: build
 
@@ -51,11 +51,21 @@ fuzz-smoke:
 # of failing it (the allocation-free contracts are enforced for real by the
 # AllocsPerRun guard tests under `make test`). Refresh the baseline on a
 # quiet machine with:
-#   $(GO) test ./internal/sched/incremental ./internal/explore -run '^$$' \
-#     -bench . -benchmem -benchtime 1s | $(GO) run ./cmd/benchdiff -update
+#   $(GO) test ./internal/sched/incremental ./internal/explore ./internal/engine \
+#     -run '^$$' -bench . -benchmem -benchtime 1s | $(GO) run ./cmd/benchdiff -update
 bench-smoke:
-	$(GO) test ./internal/sched/incremental ./internal/explore -run '^$$' \
-	  -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
+	$(GO) test ./internal/sched/incremental ./internal/explore ./internal/engine \
+	  -run '^$$' -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
+
+# The tentpole's safety net, runnable on its own: the engine path (compile
+# once, analyze through the façade — cold, warm, replay, both algorithms)
+# must be bit-identical to the package-level Schedule entry points over the
+# full differential corpus, and the rta screen must dominate the exact
+# analysis. `make race` covers these too; this target is the fast loop while
+# working on the image or a backend.
+engine-diff:
+	$(GO) test ./internal/engine -run \
+	  'TestEngineBitIdentical|TestEditedReschedule|TestRTABoundDominates' -v
 
 # End-to-end smoke check for the analysis service: builds the real miaserve
 # binary, boots it on an ephemeral port, round-trips analyze → reschedule

@@ -230,7 +230,7 @@ func BenchmarkMultiCluster(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := system.Analyze(sched.Options{}); err != nil {
+		if _, err := system.Analyze(context.Background(), sched.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -38,12 +38,13 @@ import (
 
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/bench"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/prof"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/fixpoint"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/fixpoint"    // registers the "fixpoint" engine backend
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
 
 func main() {
@@ -300,12 +301,18 @@ func runAgreement(ctx context.Context, w io.Writer, base bench.Config) error {
 			if err != nil {
 				return tally{}, err
 			}
-			opts := sched.Options{Arbiter: base.Arbiter, Cancel: ctx.Done()}
-			fast, err := incremental.Schedule(g, opts)
+			// One compiled image serves both analyses: agreement is a
+			// same-input comparison, so sharing the image removes any chance
+			// of the two algorithms seeing different normalizations.
+			img, err := engine.Compile(g, sched.Options{Arbiter: base.Arbiter})
 			if err != nil {
 				return tally{}, err
 			}
-			slow, err := fixpoint.Schedule(g, opts)
+			fast, err := engine.MustNew(engine.Incremental).Analyze(ctx, img)
+			if err != nil {
+				return tally{}, err
+			}
+			slow, err := engine.MustNew(engine.Fixpoint).Analyze(ctx, img)
 			if err != nil {
 				return tally{}, err
 			}

@@ -27,11 +27,12 @@ import (
 
 	"github.com/mia-rt/mia/internal/arbiter"
 	"github.com/mia-rt/mia/internal/dataflow"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/mapper"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/periodic"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 	"github.com/mia-rt/mia/internal/sim"
 )
 
@@ -123,8 +124,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "unrolled %d periods of %d cycles: %d jobs\n", nIter, *period, mg.NumTasks())
 	}
 
-	opts := sched.Options{Arbiter: arbiter.NewRoundRobin(model.Cycles(*latency)), Cancel: ctx.Done()}
-	res, err := incremental.Schedule(mg, opts)
+	opts := sched.Options{Arbiter: arbiter.NewRoundRobin(model.Cycles(*latency))}
+	img, err := engine.Compile(mg, opts)
+	if err != nil {
+		return err
+	}
+	res, err := engine.MustNew(engine.Incremental).Analyze(ctx, img)
 	if err != nil {
 		return err
 	}

@@ -21,13 +21,15 @@ import (
 	"syscall"
 
 	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/plot"
 	"github.com/mia-rt/mia/internal/prof"
+	_ "github.com/mia-rt/mia/internal/rta" // registers the "rta" engine backend
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/fixpoint"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/fixpoint"    // registers the "fixpoint" engine backend
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 	"github.com/mia-rt/mia/internal/sens"
 	"github.com/mia-rt/mia/internal/trace"
 )
@@ -47,7 +49,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("miasched", flag.ContinueOnError)
 	var (
-		algo      = fs.String("algo", "incremental", `scheduler: "incremental" (O(n²), the paper's contribution) or "fixpoint" (O(n⁴) baseline)`)
+		algo      = fs.String("algo", "incremental", `analysis: "incremental" (O(n²), the paper's contribution), "fixpoint" (O(n⁴) baseline) or "rta" (window-free compositional bound)`)
 		arbName   = fs.String("arbiter", "rr", `bus policy: "rr", "hier-rr", "tree-rr", "wrr", "tdm", "fp" or "none"`)
 		latency   = fs.Int64("latency", 1, "bank word latency in cycles")
 		group     = fs.Int("group", 2, "hier-rr first-level group size")
@@ -127,18 +129,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		opts.Trace = rec.Hook()
 	}
 
-	var res *sched.Result
-	switch *algo {
-	case "incremental":
-		res, err = incremental.Schedule(g, opts)
-	case "fixpoint":
-		if opts.Trace != nil {
-			return fmt.Errorf("-events/-partition need the incremental scheduler (the baseline has no cursor)")
-		}
-		res, err = fixpoint.Schedule(g, opts)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	eng, err := engine.New(*algo)
+	if err != nil {
+		return err
 	}
+	if opts.Trace != nil && *algo != engine.Incremental {
+		return fmt.Errorf("-events/-partition need the incremental scheduler (the baseline has no cursor)")
+	}
+	img, err := engine.Compile(g, opts)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Analyze(ctx, img)
 	if err != nil {
 		return err
 	}
@@ -183,7 +185,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if *deadline <= 0 {
 			return fmt.Errorf("-criticality needs -deadline")
 		}
-		slacks, err := sens.Criticality(g, opts, model.Cycles(*deadline))
+		slacks, err := sens.Criticality(ctx, g, opts, model.Cycles(*deadline))
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 //	POST /v1/reschedule  {"hash": ..., "swaps": [{"core":k,"pos":p}, ...]}
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /metrics        counters, cache hits/misses, p50/p99 latency
+//	GET  /debug/pprof/*  profiling — only with -pprof, loopback clients only
 //
 // Admission is load-shedding: a full queue answers 429 with Retry-After.
 // SIGINT/SIGTERM drains gracefully — in-flight requests finish (bounded by
@@ -25,6 +26,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,11 +54,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		workers = fs.Int("workers", 0, "warm evaluator workers (0 = one per CPU)")
 		queue   = fs.Int("queue", 64, "admission queue depth (full queue sheds with 429)")
 		cache   = fs.Int("cache", 8, "warm schedulers kept per worker (LRU)")
-		graphs  = fs.Int("graphs", 128, "parsed graphs kept for reschedule-by-hash (LRU)")
+		graphs  = fs.Int("graphs", 128, "compiled graph images kept for reschedule-by-hash (LRU)")
 		timeout = fs.Duration("timeout", 30*time.Second, "default per-request deadline (override per request with ?timeout_ms=)")
 		drain   = fs.Duration("drain", 15*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		arbName = fs.String("arbiter", "rr", `bus policy: "rr", "hier-rr", "tree-rr", "wrr", "tdm", "fp" or "none"`)
 		latency = fs.Int64("latency", 1, "bank word latency in cycles")
+		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (loopback clients only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +82,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: assembleHandler(srv.Handler(), *pprofOn)}
 	fmt.Fprintf(stdout, "miaserve: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -103,4 +106,42 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "miaserve: clean shutdown")
 	return nil
+}
+
+// assembleHandler layers the optional profiling endpoints over the analysis
+// API. With pprofOn false the API handler is served unchanged — no /debug
+// routes exist at all. With it true, /debug/pprof/ is mounted for loopback
+// clients only: profiles expose memory contents and timing side channels,
+// so a service reachable from the network must not leak them to remote
+// callers merely because an operator wanted local profiling.
+func assembleHandler(api http.Handler, pprofOn bool) http.Handler {
+	if !pprofOn {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/debug/pprof/", loopbackOnly(http.HandlerFunc(pprof.Index)))
+	mux.Handle("/debug/pprof/cmdline", loopbackOnly(http.HandlerFunc(pprof.Cmdline)))
+	mux.Handle("/debug/pprof/profile", loopbackOnly(http.HandlerFunc(pprof.Profile)))
+	mux.Handle("/debug/pprof/symbol", loopbackOnly(http.HandlerFunc(pprof.Symbol)))
+	mux.Handle("/debug/pprof/trace", loopbackOnly(http.HandlerFunc(pprof.Trace)))
+	return mux
+}
+
+// loopbackOnly admits only requests whose peer address is a loopback IP.
+// The check uses the transport-level RemoteAddr, never forwarded-for
+// headers, which any client could spoof.
+func loopbackOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			http.Error(w, "pprof is restricted to loopback clients", http.StatusForbidden)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }

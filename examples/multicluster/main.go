@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 		}},
 	}
 
-	res, err := system.Analyze(sched.Options{})
+	res, err := system.Analyze(context.Background(), sched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,29 +17,33 @@ import (
 	"time"
 
 	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/gen"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/regress"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/fixpoint"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/fixpoint"    // registers the "fixpoint" engine backend
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
 
-// Algorithm is a named scheduler under measurement.
+// Algorithm is a named analysis under measurement. Run analyzes a
+// pre-compiled image: the harness compiles every sweep graph once outside
+// the timed region, so the seconds measure the analysis itself, not input
+// validation or layout flattening.
 type Algorithm struct {
 	Name string
-	Run  func(*model.Graph, sched.Options) (*sched.Result, error)
+	Run  func(context.Context, *engine.Image) (*sched.Result, error)
 }
 
 // Incremental returns the paper's O(n²) algorithm as a benchmark subject.
 func Incremental() Algorithm {
-	return Algorithm{Name: "incremental", Run: incremental.Schedule}
+	return Algorithm{Name: "incremental", Run: engine.MustNew(engine.Incremental).Analyze}
 }
 
 // Fixpoint returns the O(n⁴) baseline as a benchmark subject.
 func Fixpoint() Algorithm {
-	return Algorithm{Name: "fixpoint", Run: fixpoint.Schedule}
+	return Algorithm{Name: "fixpoint", Run: engine.MustNew(engine.Fixpoint).Analyze}
 }
 
 // Config describes one benchmark panel: a family (LS = fixed layer size,
@@ -193,7 +197,10 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 		}
 	}
 
-	graphs := make(map[int]*model.Graph, len(cfg.Sizes))
+	// Generate and compile every sweep instance up front: all algorithms at
+	// one size share one immutable image, and compilation (validation + SoA
+	// flattening) stays outside every timed region.
+	images := make(map[int]*engine.Image, len(cfg.Sizes))
 	for _, size := range cfg.Sizes {
 		p, err := cfg.params(size)
 		if err != nil {
@@ -203,7 +210,11 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 		if err != nil {
 			return nil, err
 		}
-		graphs[size] = g
+		img, err := engine.Compile(g, sched.Options{Arbiter: cfg.Arbiter})
+		if err != nil {
+			return nil, err
+		}
+		images[size] = img
 	}
 
 	// deadBelow[a] tracks the smallest size at which algorithm a has timed
@@ -222,7 +233,7 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 			say("%s %s n=%d: skipped (timed out earlier)", cfg.Name(), algo.Name, size)
 			return Point{Tasks: size, Skipped: true}, nil
 		}
-		pt := measure(ctx, algo, graphs[size], cfg, repeats)
+		pt := measure(ctx, algo, images[size], cfg, repeats)
 		pt.Tasks = size
 		if pt.TimedOut {
 			for {
@@ -286,10 +297,10 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 // timeout through the scheduler's cancellation hook. A parent-context
 // cancellation (as opposed to the point's own timeout) reports the point as
 // Skipped.
-func measure(ctx context.Context, algo Algorithm, g *model.Graph, cfg Config, repeats int) Point {
+func measure(ctx context.Context, algo Algorithm, img *engine.Image, cfg Config, repeats int) Point {
 	best := Point{Seconds: -1}
 	for r := 0; r < repeats; r++ {
-		pt, timedOut := runOnce(ctx, algo, g, cfg)
+		pt, timedOut := runOnce(ctx, algo, img, cfg)
 		if timedOut {
 			if ctx.Err() != nil {
 				return Point{Skipped: true}
@@ -308,15 +319,14 @@ func measure(ctx context.Context, algo Algorithm, g *model.Graph, cfg Config, re
 // synchronously inside the scheduler — it cannot leak work into the next
 // point's measurement — and an external cancellation tears the run down the
 // same way.
-func runOnce(ctx context.Context, algo Algorithm, g *model.Graph, cfg Config) (Point, bool) {
+func runOnce(ctx context.Context, algo Algorithm, img *engine.Image, cfg Config) (Point, bool) {
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
-	opts := sched.Options{Arbiter: cfg.Arbiter, Cancel: ctx.Done()}
 	stop := cfg.startTimer()
-	res, err := algo.Run(g, opts)
+	res, err := algo.Run(ctx, img)
 	elapsed := stop()
 	// A run is over budget when the scheduler observed the cancellation —
 	// or when the deadline expired but the busy analysis loop outran the

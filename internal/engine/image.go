@@ -1,0 +1,205 @@
+// Package engine turns a validated task graph into an immutable,
+// struct-of-arrays problem image and fronts the analysis algorithms with a
+// single façade. Compile once, analyze many times: the image is the
+// compile-once/run-many contract that lets sweep workers, search
+// evaluators, and server-side warm schedulers share one problem instance
+// per graph fingerprint instead of defensively deep-cloning graphs.
+//
+// An Image is immutable after Compile returns. Nothing in this repository
+// writes to its arrays, every accessor returns either a value or a slice
+// view the caller must treat as read-only, and the mutable piece of an
+// analysis — the per-core execution orders a search permutes — lives in a
+// separate per-analyzer Orders overlay. That is what makes sharing sound:
+// any number of goroutines may analyze the same Image concurrently, each
+// with its own Orders and its own backend state, with no locks.
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// Image is the compiled, immutable form of one analysis problem: the graph
+// flattened into dense int-indexed arrays, adjacency in CSR form, per-bank
+// demand in one flat backing array, and the analysis options normalized
+// (arbiter and deadline resolved). All exported fields and every slice
+// returned by an accessor are read-only by contract.
+//
+// Invariants established by Compile and relied on by every backend:
+//
+//   - the source graph passed Validate: dense task IDs, acyclic
+//     dependencies, per-core orders consistent with same-core edges, all
+//     magnitudes within model.MaxInput;
+//   - Demand rows are zero-extended to exactly Banks entries, so
+//     DemandRow(id)[b] is the task's demand on bank b with no bounds
+//     checks against ragged per-task rows;
+//   - CSR neighbor lists are sorted by task ID (inherited from the graph's
+//     adjacency), so iteration order — and therefore every accumulated
+//     result — is deterministic;
+//   - Opts.Arbiter is non-nil and Opts.Deadline is positive (Infinity
+//     when the caller set none).
+type Image struct {
+	NumTasks int
+	Cores    int
+	Banks    int
+
+	// Per-task scalars, indexed by model.TaskID.
+	WCET       []model.Cycles
+	MinRelease []model.Cycles
+	CoreOf     []model.CoreID
+	Local      []model.Accesses
+
+	// Demand is the per-bank access demand of every task in one flat
+	// task-major backing array: task id's row is
+	// Demand[id*Banks : (id+1)*Banks], zero-extended to full width.
+	Demand []model.Accesses
+
+	// CSR adjacency: task id's successors are
+	// Succ[SuccStart[id]:SuccStart[id+1]], likewise Pred for the reverse
+	// edges. Both neighbor lists are sorted by task ID.
+	SuccStart []int32
+	Succ      []model.TaskID
+	PredStart []int32
+	Pred      []model.TaskID
+
+	// Baseline per-core execution orders in CSR form: core k's order is
+	// OrderIDs[OrderStart[k]:OrderStart[k+1]]. Analyses that permute
+	// orders work on a mutable copy — see NewOrders.
+	OrderStart []int32
+	OrderIDs   []model.TaskID
+
+	// BankTable maps each core to its private bank.
+	BankTable []model.BankID
+
+	// Opts are the compiled analysis options with Arbiter and Deadline
+	// resolved to their effective values.
+	Opts sched.Options
+
+	g      *model.Graph // frozen private clone: fingerprints, NewGraph
+	fpOnce sync.Once
+	fp     string
+}
+
+// Compile validates g and flattens it into an immutable problem image
+// under the given options. The graph is cloned, so later mutations of g
+// (order swaps, demand edits) do not reach the image; recompile to pick
+// them up. Validation errors are returned as-is from model.Validate.
+func Compile(g *model.Graph, opts sched.Options) (*Image, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Arbiter = opts.EffectiveArbiter()
+	opts.Deadline = opts.EffectiveDeadline()
+
+	n := g.NumTasks()
+	img := &Image{
+		NumTasks: n,
+		Cores:    g.Cores,
+		Banks:    g.Banks,
+		Opts:     opts,
+		g:        g.Clone(),
+
+		WCET:       make([]model.Cycles, n),
+		MinRelease: make([]model.Cycles, n),
+		CoreOf:     make([]model.CoreID, n),
+		Local:      make([]model.Accesses, n),
+		Demand:     make([]model.Accesses, n*g.Banks),
+		SuccStart:  make([]int32, n+1),
+		PredStart:  make([]int32, n+1),
+		OrderStart: make([]int32, g.Cores+1),
+		BankTable:  make([]model.BankID, g.Cores),
+	}
+	for i, t := range g.Tasks() {
+		img.WCET[i] = t.WCET
+		img.MinRelease[i] = t.MinRelease
+		img.CoreOf[i] = t.Core
+		img.Local[i] = t.Local
+		copy(img.Demand[i*g.Banks:(i+1)*g.Banks], t.Demand)
+	}
+	for i := 0; i < n; i++ {
+		img.Succ = append(img.Succ, g.Successors(model.TaskID(i))...)
+		img.SuccStart[i+1] = int32(len(img.Succ))
+		img.Pred = append(img.Pred, g.Predecessors(model.TaskID(i))...)
+		img.PredStart[i+1] = int32(len(img.Pred))
+	}
+	for k := 0; k < g.Cores; k++ {
+		img.OrderIDs = append(img.OrderIDs, g.Order(model.CoreID(k))...)
+		img.OrderStart[k+1] = int32(len(img.OrderIDs))
+		img.BankTable[k] = g.BankOf(model.CoreID(k))
+	}
+	return img, nil
+}
+
+// DemandRow returns task id's per-bank demand: exactly Banks entries,
+// zero-extended. Read-only.
+//
+//mia:hotpath
+func (img *Image) DemandRow(id model.TaskID) []model.Accesses {
+	return img.Demand[int(id)*img.Banks : (int(id)+1)*img.Banks]
+}
+
+// Succs returns task id's successors sorted by ID. Read-only.
+//
+//mia:hotpath
+func (img *Image) Succs(id model.TaskID) []model.TaskID {
+	return img.Succ[img.SuccStart[id]:img.SuccStart[id+1]]
+}
+
+// Preds returns task id's predecessors sorted by ID. Read-only.
+//
+//mia:hotpath
+func (img *Image) Preds(id model.TaskID) []model.TaskID {
+	return img.Pred[img.PredStart[id]:img.PredStart[id+1]]
+}
+
+// PredCount returns the number of direct predecessors of task id.
+//
+//mia:hotpath
+func (img *Image) PredCount(id model.TaskID) int {
+	return int(img.PredStart[id+1] - img.PredStart[id])
+}
+
+// Order returns core k's baseline execution order. Read-only; analyses
+// that permute orders use a NewOrders overlay instead.
+//
+//mia:hotpath
+func (img *Image) Order(k model.CoreID) []model.TaskID {
+	return img.OrderIDs[img.OrderStart[k]:img.OrderStart[k+1]]
+}
+
+// Edges returns the dependency edges of the compiled graph. Read-only.
+func (img *Image) Edges() []model.Edge { return img.g.Edges() }
+
+// Fingerprint returns the canonical content hash of the compiled graph
+// with its baseline orders (see model.Graph.Fingerprint). Computed once,
+// lazily; safe for concurrent use.
+func (img *Image) Fingerprint() string {
+	img.fpOnce.Do(func() { img.fp = img.g.Fingerprint() })
+	return img.fp
+}
+
+// FingerprintOrders returns the canonical content hash the compiled graph
+// would have if its per-core orders were replaced by o: byte-identical to
+// cloning the graph, applying the same permutation, and fingerprinting it.
+func (img *Image) FingerprintOrders(o *Orders) string {
+	return img.g.FingerprintWithOrders(o.view)
+}
+
+// NewGraph materializes a fresh mutable graph equal to the compiled one —
+// the image-side replacement for defensive g.Clone() at consumer level.
+func (img *Image) NewGraph() *model.Graph { return img.g.Clone() }
+
+// CancelWith resolves the cancellation channel for one analysis run: the
+// context's Done channel when the context is cancellable, otherwise the
+// channel compiled into the image's options (context.Background reports a
+// nil Done channel, which would otherwise mask a caller-provided
+// Options.Cancel).
+func (img *Image) CancelWith(ctx context.Context) <-chan struct{} {
+	if d := ctx.Done(); d != nil {
+		return d
+	}
+	return img.Opts.Cancel
+}

@@ -17,15 +17,18 @@
 // analysis instance stays single-threaded, and the search decisions are
 // functions of submission order, never completion order.
 //
-// Candidate evaluation is warm-started: every worker owns one long-lived
-// graph clone, mutated in place by apply/undo swaps, and one
-// incremental.Scheduler whose checkpoints let a neighbor that differs from
+// The search compiles its graph into one immutable engine.Image shared by
+// every worker. Each worker owns a warm analyzer over that image — a
+// mutable order overlay permuted in place by apply/undo swaps, plus an
+// incremental scheduler whose checkpoints let a neighbor that differs from
 // the incumbent by an adjacent swap replay only the schedule suffix behind
-// the swapped position instead of re-analyzing from t=0. Warm-started
-// replays are bit-identical to cold analyses (differentially tested), so
-// search walks are byte-identical with warm-start on and off, at every jobs
-// level; Options.DisableWarmStart keeps the cold path reachable as the
-// oracle and benchmark baseline.
+// the swapped position instead of re-analyzing from t=0. No graph is ever
+// cloned per worker or per improvement; mutable graphs materialize exactly
+// once per search, for the returned Result.Best. Warm-started replays are
+// bit-identical to cold analyses (differentially tested), so search walks
+// are byte-identical with warm-start on and off, at every jobs level;
+// Options.DisableWarmStart keeps the cold path reachable as the oracle and
+// benchmark baseline.
 package explore
 
 import (
@@ -34,10 +37,11 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
 
 // Options configures a search.
@@ -85,7 +89,7 @@ func (o Options) maxEvals() int {
 
 // Result reports a search outcome.
 type Result struct {
-	// Best is the improved graph (a clone; the input is untouched).
+	// Best is the improved graph (a fresh graph; the input is untouched).
 	Best *model.Graph
 	// Initial and Improved are the makespans before and after.
 	Initial  model.Cycles
@@ -107,51 +111,57 @@ func (r *Result) Gain() float64 {
 	return 100 * float64(r.Initial-r.Improved) / float64(r.Initial)
 }
 
+// searchEngine resolves the incremental backend the searches evaluate with
+// (registered by the blank import above).
+func searchEngine() *engine.Engine { return engine.MustNew(engine.Incremental) }
+
 // maxPendingEdits is the number of divergence sites an evaluator tolerates
-// between its graph and its scheduler's checkpoint baseline before rebasing
-// with a cold run. Two sites cover the steady state of both searches (the
-// last accepted move plus the candidate under evaluation); beyond that, each
-// extra site can only push the restart checkpoint earlier, so a rebase —
-// whose cold run doubles as the candidate's evaluation — is the better deal.
+// between its order overlay and its scheduler's checkpoint baseline before
+// rebasing with a cold run. Two sites cover the steady state of both
+// searches (the last accepted move plus the candidate under evaluation);
+// beyond that, each extra site can only push the restart checkpoint
+// earlier, so a rebase — whose cold run doubles as the candidate's
+// evaluation — is the better deal.
 const maxPendingEdits = 2
 
-// evaluator owns one worker's long-lived analysis resources: a private clone
-// of the search's incumbent graph, mutated in place by apply/undo swaps, and
-// a warm-start scheduler whose checkpoints are reused across the candidate
-// evaluations the worker performs. Results do not depend on which evaluator
-// analyzed a candidate — warm replays are bit-identical to cold runs — which
-// is what keeps the searches deterministic at every jobs level.
+// evaluator owns one worker's long-lived analysis resources: a warm
+// analyzer over the search's shared image, whose private order overlay is
+// permuted in place by apply/undo swaps and whose checkpoints are reused
+// across the candidate evaluations the worker performs. Results do not
+// depend on which evaluator analyzed a candidate — warm replays are
+// bit-identical to cold runs — which is what keeps the searches
+// deterministic at every jobs level.
 type evaluator struct {
-	g       *model.Graph
-	opts    sched.Options
+	w       engine.Warm
+	ord     *engine.Orders
 	disable bool
 
-	sch  *incremental.Scheduler
-	warm bool // sch's checkpoints describe baseOrder
-	// baseOrder mirrors g's per-core orders as of the last rebase (the
-	// scheduler's checkpoint baseline); divergence diffs g against it.
+	warm bool // w's checkpoints describe baseOrder
+	// baseOrder mirrors the overlay's per-core orders as of the last
+	// rebase (the scheduler's checkpoint baseline); divergence diffs the
+	// overlay against it.
 	baseOrder [][]model.TaskID
-	edits     []incremental.Edit
+	edits     []engine.Edit
 }
 
-// newEvaluator clones g for exclusive use by one worker.
-func newEvaluator(g *model.Graph, opts Options) *evaluator {
-	e := &evaluator{g: g.Clone(), opts: opts.Sched, disable: opts.DisableWarmStart}
+// newEvaluator builds one worker's analyzer over the shared image.
+func newEvaluator(img *engine.Image, opts Options) *evaluator {
+	w := searchEngine().NewWarm(img)
+	e := &evaluator{w: w, ord: w.Orders(), disable: opts.DisableWarmStart}
 	if !e.disable {
-		e.sch = incremental.NewScheduler(e.g, opts.Sched)
-		e.baseOrder = make([][]model.TaskID, e.g.Cores)
+		e.baseOrder = make([][]model.TaskID, img.Cores)
 	}
 	return e
 }
 
-// evaluate analyzes the evaluator's graph as currently ordered, returning
+// evaluate analyzes the evaluator's overlay as currently ordered, returning
 // Infinity for unschedulable candidates. With warm-start enabled it replays
 // from the nearest checkpoint unaffected by the order positions that changed
 // since the last rebase, and rebases cold when the divergence grows beyond
 // what replay exploits well.
-func (e *evaluator) evaluate() model.Cycles {
+func (e *evaluator) evaluate(ctx context.Context) model.Cycles {
 	if e.disable {
-		res, err := incremental.Schedule(e.g, e.opts)
+		res, err := e.w.AnalyzeCold(ctx)
 		if err != nil {
 			return model.Infinity
 		}
@@ -160,7 +170,7 @@ func (e *evaluator) evaluate() model.Cycles {
 	if e.warm {
 		edits := e.divergence()
 		if len(edits) <= maxPendingEdits {
-			res, err := e.sch.Reschedule(edits...)
+			res, err := e.w.Reschedule(ctx, edits...)
 			if err != nil {
 				return model.Infinity // baseline checkpoints stay valid
 			}
@@ -168,9 +178,9 @@ func (e *evaluator) evaluate() model.Cycles {
 		}
 	}
 	// Cold run doubling as a rebase: it records fresh checkpoints for the
-	// graph as currently ordered, so the work is the candidate's evaluation
-	// and the new baseline in one pass.
-	res, err := e.sch.Schedule()
+	// overlay as currently ordered, so the work is the candidate's
+	// evaluation and the new baseline in one pass.
+	res, err := e.w.Analyze(ctx)
 	if err != nil {
 		e.warm = false
 		return model.Infinity
@@ -181,26 +191,26 @@ func (e *evaluator) evaluate() model.Cycles {
 }
 
 // swapEval evaluates the neighbor reached by one adjacent swap, leaving the
-// evaluator's graph as it found it.
-func (e *evaluator) swapEval(mv [2]int) model.Cycles {
-	applySwap(e.g, mv[0], mv[1])
-	m := e.evaluate()
-	applySwap(e.g, mv[0], mv[1])
+// evaluator's overlay as it found it.
+func (e *evaluator) swapEval(ctx context.Context, mv [2]int) model.Cycles {
+	e.ord.Swap(model.CoreID(mv[0]), mv[1])
+	m := e.evaluate(ctx)
+	e.ord.Swap(model.CoreID(mv[0]), mv[1])
 	return m
 }
 
-// accept applies a move the search committed to, so the evaluator's graph
+// accept applies a move the search committed to, so the evaluator's overlay
 // keeps tracking the incumbent, and eagerly rebases the checkpoint baseline
 // onto it. Without the rebase every later candidate would carry the accepted
 // move as a second divergence site, forcing replays to restart before the
 // *earlier* of the two positions; one cold run here amortizes over the whole
 // next neighborhood and keeps each candidate single-edit.
-func (e *evaluator) accept(mv [2]int) {
-	applySwap(e.g, mv[0], mv[1])
+func (e *evaluator) accept(ctx context.Context, mv [2]int) {
+	e.ord.Swap(model.CoreID(mv[0]), mv[1])
 	if e.disable {
 		return
 	}
-	if _, err := e.sch.Schedule(); err == nil {
+	if _, err := e.w.Analyze(ctx); err == nil {
 		e.warm = true
 		e.rebase()
 	} else {
@@ -208,24 +218,25 @@ func (e *evaluator) accept(mv [2]int) {
 	}
 }
 
-// rebase records g's current orders as the scheduler's checkpoint baseline.
+// rebase records the overlay's current orders as the scheduler's checkpoint
+// baseline.
 func (e *evaluator) rebase() {
-	for k := 0; k < e.g.Cores; k++ {
-		e.baseOrder[k] = append(e.baseOrder[k][:0], e.g.Order(model.CoreID(k))...)
+	for k := range e.baseOrder {
+		e.baseOrder[k] = append(e.baseOrder[k][:0], e.ord.Order(model.CoreID(k))...)
 	}
 }
 
-// divergence lists, per core, the first order position where g differs from
-// the checkpoint baseline. Diffing against the baseline — rather than
-// logging mutations — makes apply/undo pairs cancel exactly, so the steady
-// state of a neighborhood sweep stays at one or two sites.
-func (e *evaluator) divergence() []incremental.Edit {
+// divergence lists, per core, the first order position where the overlay
+// differs from the checkpoint baseline. Diffing against the baseline —
+// rather than logging mutations — makes apply/undo pairs cancel exactly, so
+// the steady state of a neighborhood sweep stays at one or two sites.
+func (e *evaluator) divergence() []engine.Edit {
 	e.edits = e.edits[:0]
-	for k := 0; k < e.g.Cores; k++ {
-		cur, base := e.g.Order(model.CoreID(k)), e.baseOrder[k]
+	for k := range e.baseOrder {
+		cur, base := e.ord.Order(model.CoreID(k)), e.baseOrder[k]
 		for i := range cur {
 			if cur[i] != base[i] {
-				e.edits = append(e.edits, incremental.Edit{Core: model.CoreID(k), From: i})
+				e.edits = append(e.edits, engine.Edit{Core: model.CoreID(k), From: i})
 				break
 			}
 		}
@@ -233,18 +244,25 @@ func (e *evaluator) divergence() []incremental.Edit {
 	return e.edits
 }
 
+// orderSource is any holder of per-core execution orders the move
+// enumeration can read — a mutable graph or an engine order overlay.
+type orderSource interface {
+	Order(k model.CoreID) []model.TaskID
+}
+
 // moveSet caches what neighborhood enumeration needs across a whole search:
 // the dependency-pair set (the edge set never changes, only orders do) and a
 // reusable moves buffer, so per-round enumeration is map-build-free and
 // allocation-free in steady state.
 type moveSet struct {
-	dep map[[2]model.TaskID]bool
-	buf [][2]int
+	cores int
+	dep   map[[2]model.TaskID]bool
+	buf   [][2]int
 }
 
-func newMoveSet(g *model.Graph) *moveSet {
-	ms := &moveSet{dep: make(map[[2]model.TaskID]bool, len(g.Edges()))}
-	for _, e := range g.Edges() {
+func newMoveSet(cores int, edges []model.Edge) *moveSet {
+	ms := &moveSet{cores: cores, dep: make(map[[2]model.TaskID]bool, len(edges))}
+	for _, e := range edges {
 		ms.dep[[2]model.TaskID{e.From, e.To}] = true
 	}
 	return ms
@@ -253,10 +271,10 @@ func newMoveSet(g *model.Graph) *moveSet {
 // legal enumerates (core, position) pairs where order[pos] and order[pos+1]
 // may exchange without violating a direct dependency. The returned slice is
 // valid until the next call.
-func (ms *moveSet) legal(g *model.Graph) [][2]int {
+func (ms *moveSet) legal(src orderSource) [][2]int {
 	ms.buf = ms.buf[:0]
-	for k := 0; k < g.Cores; k++ {
-		order := g.Order(model.CoreID(k))
+	for k := 0; k < ms.cores; k++ {
+		order := src.Order(model.CoreID(k))
 		for pos := 0; pos+1 < len(order); pos++ {
 			if !ms.dep[[2]model.TaskID{order[pos], order[pos+1]}] {
 				ms.buf = append(ms.buf, [2]int{k, pos})
@@ -266,17 +284,20 @@ func (ms *moveSet) legal(g *model.Graph) [][2]int {
 	return ms.buf
 }
 
-// legalAdjacentSwaps is the one-shot form of moveSet.legal.
+// legalAdjacentSwaps is the one-shot, graph-level form of moveSet.legal.
 func legalAdjacentSwaps(g *model.Graph) [][2]int {
-	return newMoveSet(g).legal(g)
+	return newMoveSet(g.Cores, g.Edges()).legal(g)
 }
 
-// applySwap exchanges the two tasks at (core, pos) and (core, pos+1) in
-// place; applying it twice restores the original order. Mutating in place
-// (instead of copy-and-set) is what lets workers reuse one clone across a
-// whole search at zero allocations per candidate.
-func applySwap(g *model.Graph, core, pos int) {
-	g.SwapOrder(model.CoreID(core), pos)
+// replayMoves materializes a mutable graph equal to the image's baseline
+// with the given accepted swaps applied in order — the only place a search
+// allocates a graph.
+func replayMoves(img *engine.Image, moves [][2]int) *model.Graph {
+	g := img.NewGraph()
+	for _, mv := range moves {
+		g.SwapOrder(model.CoreID(mv[0]), mv[1])
+	}
+	return g
 }
 
 // HillClimb repeatedly applies the best improving adjacent swap until no
@@ -288,17 +309,17 @@ func applySwap(g *model.Graph, core, pos int) {
 // before any evaluation starts, results come back indexed by candidate,
 // and the applied move is the first maximal-gain candidate in that order —
 // none of which depends on evaluation completion order. Each worker owns
-// one evaluator (graph clone + warm scheduler) for the whole search instead
-// of receiving a fresh clone per candidate; accepted moves are applied to
-// every clone between rounds, so neighbors are always one swap away from a
-// checkpointed baseline.
+// one evaluator (order overlay + warm scheduler over the shared image) for
+// the whole search; accepted moves are applied to every overlay between
+// rounds, so neighbors are always one swap away from a checkpointed
+// baseline.
 //
 // Cancellation flows from ctx: between rounds the search stops with
 // ctx.Err(), and a cancellation during a round is reported by the worker
 // pool after the in-flight candidates drain.
 func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, error) {
-	cur := g.Clone()
-	if err := cur.Validate(); err != nil {
+	img, err := engine.Compile(g, opts.Sched)
+	if err != nil {
 		return nil, err
 	}
 	workers := opts.Jobs
@@ -307,15 +328,18 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 	}
 	evs := make([]*evaluator, workers)
 	for w := range evs {
-		evs[w] = newEvaluator(cur, opts)
+		evs[w] = newEvaluator(img, opts)
 	}
-	base := evs[0].evaluate()
+	// inc is the incumbent's order state, mirrored by every evaluator's
+	// overlay as moves are accepted.
+	inc := img.NewOrders()
+	base := evs[0].evaluate(ctx)
 	if base == model.Infinity {
 		return nil, fmt.Errorf("explore: initial order is unschedulable")
 	}
 	res := &Result{Initial: base, Improved: base, Evaluations: 1}
 	budget := opts.maxEvals()
-	moves := newMoveSet(cur)
+	moves := newMoveSet(img.Cores, img.Edges())
 	for res.Evaluations < budget {
 		// Fix the round's candidates first: every legal swap in enumeration
 		// order, truncated to the remaining evaluation budget. No per-swap
@@ -325,7 +349,7 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 		// intermediate between two adjacent entries), and cross-core
 		// deadlocks are outside Validate's remit anyway; the schedulers
 		// report those and the evaluation scores them Infinity.
-		cands := moves.legal(cur)
+		cands := moves.legal(inc)
 		if left := budget - res.Evaluations; len(cands) > left {
 			cands = cands[:left]
 		}
@@ -333,8 +357,8 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 			return nil, err
 		}
 		makespans, err := pool.MapWith(ctx, evs, len(cands),
-			func(_ context.Context, ev *evaluator, i int) (model.Cycles, error) {
-				return ev.swapEval(cands[i]), nil
+			func(c context.Context, ev *evaluator, i int) (model.Cycles, error) {
+				return ev.swapEval(c, cands[i]), nil
 			})
 		if err != nil {
 			return nil, err
@@ -351,14 +375,14 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 		if bestMove[0] < 0 {
 			break // local optimum (or no candidate fit the budget)
 		}
-		applySwap(cur, bestMove[0], bestMove[1])
+		inc.Swap(model.CoreID(bestMove[0]), bestMove[1])
 		for _, ev := range evs {
-			ev.accept(bestMove)
+			ev.accept(ctx, bestMove)
 		}
 		res.Improved -= bestGain
 		res.Moves = append(res.Moves, bestMove)
 	}
-	res.Best = cur
+	res.Best = replayMoves(img, res.Moves)
 	return res, nil
 }
 
@@ -372,20 +396,27 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 // best chain wins, ties broken by the lowest chain index. One chain's walk
 // is inherently sequential (every accept feeds the next RNG draw), so the
 // chains themselves are the parallelism grain; the outcome is a pure
-// function of (graph, Options) regardless of the jobs level.
+// function of (graph, Options) regardless of the jobs level. All chains
+// share one compiled image; a chain's best-so-far is tracked as a prefix
+// length of its accepted-move log and only the winner's graph is
+// materialized, replacing the former per-improvement graph clone.
 //
 // Cancellation flows from ctx: chains not yet started are never launched
 // and Anneal returns ctx.Err() once the running chains drain.
 func Anneal(ctx context.Context, g *model.Graph, opts Options) (*Result, error) {
+	img, err := engine.Compile(g, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	chains, err := pool.Map(ctx, opts.Jobs, restarts,
-		func(_ context.Context, i int) (*Result, error) {
+		func(c context.Context, i int) (chain, error) {
 			o := opts
 			o.Seed = opts.Seed + int64(i)
-			return annealChain(g, o)
+			return annealChain(c, img, o)
 		})
 	if err != nil {
 		return nil, err
@@ -393,31 +424,39 @@ func Anneal(ctx context.Context, g *model.Graph, opts Options) (*Result, error) 
 	winner := chains[0]
 	total := 0
 	for _, c := range chains {
-		total += c.Evaluations
-		if c.Improved < winner.Improved {
+		total += c.res.Evaluations
+		if c.res.Improved < winner.res.Improved {
 			winner = c
 		}
 	}
-	winner.Evaluations = total
-	return winner, nil
+	winner.res.Evaluations = total
+	winner.res.Best = replayMoves(img, winner.res.Moves[:winner.bestLen])
+	return winner.res, nil
+}
+
+// chain is one annealing walk's outcome: the result plus the length of the
+// accepted-move prefix that reaches the best makespan ever seen (the walk
+// may accept worsening moves after it).
+type chain struct {
+	res     *Result
+	bestLen int
 }
 
 // annealChain is one seeded annealing walk — the pre-parallelism Anneal.
-// The chain owns a single evaluator: the walk mutates the evaluator's clone
-// in place (accepted swaps stay, rejected swaps are undone) and each
-// candidate is analyzed warm from the last rebased baseline.
-func annealChain(g *model.Graph, opts Options) (*Result, error) {
-	ev := newEvaluator(g, opts)
-	cur := ev.g
-	if err := cur.Validate(); err != nil {
-		return nil, err
-	}
-	curCost := ev.evaluate()
+// The chain owns a single evaluator over the shared image: the walk
+// permutes the evaluator's order overlay in place (accepted swaps stay,
+// rejected swaps are undone) and each candidate is analyzed warm from the
+// last rebased baseline. The best schedule is recorded as a prefix of the
+// accepted-move log, not as a graph clone; Anneal materializes the winning
+// graph once.
+func annealChain(ctx context.Context, img *engine.Image, opts Options) (chain, error) {
+	ev := newEvaluator(img, opts)
+	curCost := ev.evaluate(ctx)
 	if curCost == model.Infinity {
-		return nil, fmt.Errorf("explore: initial order is unschedulable")
+		return chain{}, fmt.Errorf("explore: initial order is unschedulable")
 	}
-	best := cur.Clone()
 	res := &Result{Initial: curCost, Improved: curCost, Evaluations: 1}
+	c := chain{res: res}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	temp := opts.Temperature
@@ -431,9 +470,12 @@ func annealChain(g *model.Graph, opts Options) (*Result, error) {
 	}
 
 	budget := opts.maxEvals()
-	ms := newMoveSet(cur)
+	ms := newMoveSet(img.Cores, img.Edges())
 	for res.Evaluations < budget {
-		moves := ms.legal(cur)
+		if err := ctx.Err(); err != nil {
+			return chain{}, err
+		}
+		moves := ms.legal(ev.ord)
 		if len(moves) == 0 {
 			break
 		}
@@ -441,8 +483,8 @@ func annealChain(g *model.Graph, opts Options) (*Result, error) {
 		// No re-validation after the swap: legal adjacent swaps preserve
 		// Validate-validity on a valid incumbent (see HillClimb), and a
 		// cross-core deadlock simply evaluates to Infinity and is rejected.
-		applySwap(cur, mv[0], mv[1])
-		cand := ev.evaluate()
+		ev.ord.Swap(model.CoreID(mv[0]), mv[1])
+		cand := ev.evaluate(ctx)
 		res.Evaluations++
 		delta := float64(cand - curCost)
 		if delta <= 0 || (temperature > 0 && rng.Float64() < math.Exp(-delta/temperature)) {
@@ -450,13 +492,12 @@ func annealChain(g *model.Graph, opts Options) (*Result, error) {
 			res.Moves = append(res.Moves, mv)
 			if cand < res.Improved {
 				res.Improved = cand
-				best = cur.Clone()
+				c.bestLen = len(res.Moves)
 			}
 		} else {
-			applySwap(cur, mv[0], mv[1]) // reject
+			ev.ord.Swap(model.CoreID(mv[0]), mv[1]) // reject
 		}
 		temperature *= cooling
 	}
-	res.Best = best
-	return res, nil
+	return c, nil
 }

@@ -15,6 +15,7 @@ var coreScopes = []string{
 	"internal/sched",
 	"internal/arbiter",
 	"internal/rta",
+	"internal/engine",
 }
 
 // inAnalysisCore reports whether a package path belongs to the

@@ -24,6 +24,15 @@ const fingerprintVersion = 1
 // Task names are deliberately excluded (they are diagnostics, not inputs),
 // as is everything derivable from the hashed fields (adjacency, stats).
 func (g *Graph) Fingerprint() string {
+	return g.FingerprintWithOrders(g.order)
+}
+
+// FingerprintWithOrders returns the fingerprint the graph would have if
+// its per-core execution orders were replaced by orders — byte-identical
+// to cloning the graph, installing the orders, and calling Fingerprint.
+// It exists so a compiled engine image can hash an edited order overlay
+// without materializing a graph; every other hashed field comes from g.
+func (g *Graph) FingerprintWithOrders(orders [][]TaskID) string {
 	h := sha256.New()
 	putInt(h, fingerprintVersion)
 	putInt(h, int64(g.Cores))
@@ -48,8 +57,8 @@ func (g *Graph) Fingerprint() string {
 		putInt(h, int64(e.Words))
 	}
 
-	putInt(h, int64(len(g.order)))
-	for _, order := range g.order {
+	putInt(h, int64(len(orders)))
+	for _, order := range orders {
 		putInt(h, int64(len(order)))
 		for _, id := range order {
 			putInt(h, int64(id))

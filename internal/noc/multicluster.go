@@ -1,12 +1,17 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
+
+// eng analyzes each cluster: the paper's O(n²) incremental scheduler.
+var eng = engine.MustNew(engine.Incremental)
 
 // InterEdge is a cross-cluster dependency: the consumer task (in its
 // cluster) cannot start before the producer task's output has traversed
@@ -54,8 +59,12 @@ type Result struct {
 //     so the iteration reaches a fixed point in at most |Edges| rounds
 //     unless the constraints are circular, which is reported.
 //
-// The per-cluster graphs are cloned; inputs are never mutated.
-func (s *System) Analyze(opts sched.Options) (*Result, error) {
+// The per-cluster graphs are cloned; inputs are never mutated. Each round
+// raises minimal release dates — a quantity compiled into an engine image —
+// so every (cluster, round) analysis compiles and analyzes through the
+// engine façade. Canceling ctx aborts the analysis between and inside
+// cluster runs.
+func (s *System) Analyze(ctx context.Context, opts sched.Options) (*Result, error) {
 	if s.Topology == nil {
 		return nil, fmt.Errorf("noc: system without topology")
 	}
@@ -110,7 +119,14 @@ func (s *System) Analyze(opts sched.Options) (*Result, error) {
 		}
 		res.Rounds = round
 		for c, g := range graphs {
-			r, err := incremental.Schedule(g, opts)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			img, err := engine.Compile(g, opts)
+			if err != nil {
+				return nil, fmt.Errorf("noc: cluster %d: %w", c, err)
+			}
+			r, err := eng.Analyze(ctx, img)
 			if err != nil {
 				return nil, fmt.Errorf("noc: cluster %d: %w", c, err)
 			}

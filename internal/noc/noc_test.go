@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -173,7 +174,7 @@ func twoClusterSystem(t testing.TB) *System {
 
 func TestMultiClusterAnalysis(t *testing.T) {
 	s := twoClusterSystem(t)
-	res, err := s.Analyze(sched.Options{})
+	res, err := s.Analyze(context.Background(), sched.Options{})
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -200,7 +201,7 @@ func TestMultiClusterAnalysis(t *testing.T) {
 func TestMultiClusterInputUntouched(t *testing.T) {
 	s := twoClusterSystem(t)
 	before := s.Graphs[1].Task(0).MinRelease
-	if _, err := s.Analyze(sched.Options{}); err != nil {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if s.Graphs[1].Task(0).MinRelease != before {
@@ -223,7 +224,7 @@ func TestMultiClusterChainPropagates(t *testing.T) {
 			{FromCluster: 1, FromTask: 0, ToCluster: 2, ToTask: 0, Flow: Flow{Burst: 2, Rate: 0.1, PacketFlits: 8}},
 		},
 	}
-	res, err := s.Analyze(sched.Options{})
+	res, err := s.Analyze(context.Background(), sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,23 +241,23 @@ func TestMultiClusterChainPropagates(t *testing.T) {
 func TestMultiClusterErrors(t *testing.T) {
 	s := twoClusterSystem(t)
 	s.Edges[0].ToTask = 99
-	if _, err := s.Analyze(sched.Options{}); err == nil {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err == nil {
 		t.Error("unknown consumer accepted")
 	}
 	s = twoClusterSystem(t)
 	s.Edges[0].ToCluster = 0
 	s.Edges[0].ToTask = 1
-	if _, err := s.Analyze(sched.Options{}); err == nil {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err == nil {
 		t.Error("intra-cluster edge accepted")
 	}
 	s = twoClusterSystem(t)
 	s.Topology = nil
-	if _, err := s.Analyze(sched.Options{}); err == nil {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err == nil {
 		t.Error("nil topology accepted")
 	}
 	s = twoClusterSystem(t)
 	s.Graphs[99] = s.Graphs[0]
-	if _, err := s.Analyze(sched.Options{}); err == nil {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err == nil {
 		t.Error("out-of-topology cluster accepted")
 	}
 }
@@ -275,7 +276,7 @@ func TestMultiClusterCircularDiverges(t *testing.T) {
 			{FromCluster: 1, FromTask: 0, ToCluster: 0, ToTask: 0, Flow: Flow{Burst: 2, Rate: 0.1, PacketFlits: 8}},
 		},
 	}
-	if _, err := s.Analyze(sched.Options{}); err == nil || !strings.Contains(err.Error(), "converge") {
+	if _, err := s.Analyze(context.Background(), sched.Options{}); err == nil || !strings.Contains(err.Error(), "converge") {
 		t.Fatalf("err = %v, want divergence report", err)
 	}
 }

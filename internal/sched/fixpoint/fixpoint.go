@@ -38,9 +38,18 @@
 // such as the paper's Figure 1). The paper's own evaluation compares the
 // two algorithms on runtime only. Do not use this package for anything but
 // baseline measurements.
+//
+// Like the incremental package, the iteration core reads a compiled
+// engine.Image; the per-window interference recomputation is the image-side
+// twin of sched.WindowInterference, kept bit-identical to it (the checker
+// keeps using the graph-based original, so a port bug cannot hide in both).
+// Package-level Schedule stays the compatibility compile-per-call wrapper;
+// the engine backend ("fixpoint") analyzes pre-compiled images.
 package fixpoint
 
 import (
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
 )
@@ -54,19 +63,32 @@ const Algorithm = "fixpoint"
 // per-core orders deadlock against the DAG, or when the iteration
 // oscillates without converging (treated as unschedulable, as crossing the
 // deadline eventually would be).
+//
+// Schedule is the compatibility wrapper around the engine: it compiles a
+// fresh image on every call. Callers that analyze the same graph many times
+// should engine.Compile once and go through the engine façade.
 func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
-	n := g.NumTasks()
-	arb := opts.EffectiveArbiter()
-	deadline := opts.EffectiveDeadline()
-	res := sched.NewResult(Algorithm, n, g.Banks)
+	img, err := engine.Compile(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(img, img.NewOrders(), img.Opts.Cancel)
+}
+
+// analyze runs the double fixed-point iteration over a compiled image,
+// reading the per-core orders from ord.
+func analyze(img *engine.Image, ord *engine.Orders, cancel <-chan struct{}) (*sched.Result, error) {
+	n := img.NumTasks
+	deadline := img.Opts.Deadline
+	res := sched.NewResult(Algorithm, n, img.Banks)
 
 	// Same-core predecessor table from the per-core execution orders.
 	pred := make([]model.TaskID, n)
 	for i := range pred {
 		pred[i] = model.NoTask
 	}
-	for k := 0; k < g.Cores; k++ {
-		order := g.Order(model.CoreID(k))
+	for k := 0; k < img.Cores; k++ {
+		order := ord.Order(model.CoreID(k))
 		for pos := 1; pos < len(order); pos++ {
 			pred[order[pos]] = order[pos-1]
 		}
@@ -75,16 +97,15 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 	rel := res.Release
 	resp := res.Response
 	inter := res.Interference
-	for i, t := range g.Tasks() {
-		resp[i] = t.WCET
-	}
+	copy(resp, img.WCET)
 
 	fin := make([]model.Cycles, n)
 	newRel := make([]model.Cycles, n)
 	newInter := make([]model.Cycles, n)
+	w := newWindower(img)
 
 	// Initial schedule: releases under zero interference.
-	if err := releasePass(g, pred, resp, rel, newRel, deadline); err != nil {
+	if err := releasePass(img, pred, resp, rel, newRel, deadline); err != nil {
 		return nil, err
 	}
 
@@ -108,7 +129,7 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 		// windows, which can create new overlaps, so the pass repeats until
 		// the response times stop moving — up to O(n) rounds.
 		for {
-			if opts.Canceled() {
+			if canceled(cancel) {
 				return nil, sched.ErrCanceled
 			}
 			for i := 0; i < n; i++ {
@@ -117,7 +138,7 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 			interChanged := false
 			for i := 0; i < n; i++ {
 				id := model.TaskID(i)
-				newInter[i] = sched.WindowInterference(g, arb, opts.SeparateCompetitors, rel, fin, id, res.PerBank[i])
+				newInter[i] = w.interference(rel, fin, id, res.PerBank[i])
 				if newInter[i] != inter[i] {
 					interChanged = true
 				}
@@ -125,7 +146,7 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 			for i := 0; i < n; i++ {
 				if newInter[i] != inter[i] {
 					inter[i] = newInter[i]
-					resp[i] = g.Task(model.TaskID(i)).WCET + inter[i]
+					resp[i] = img.WCET[i] + inter[i]
 				}
 			}
 			if !interChanged {
@@ -140,7 +161,7 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 		// Release pass: recompute all release dates from the minimal
 		// releases up, under the frozen response times.
 		copy(newRel, rel)
-		if err := releasePass(g, pred, resp, rel, newRel, deadline); err != nil {
+		if err := releasePass(img, pred, resp, rel, newRel, deadline); err != nil {
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
@@ -162,17 +183,125 @@ func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
 	return res, nil
 }
 
+// canceled polls a cancellation channel without blocking.
+func canceled(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		return false
+	}
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// windower recomputes one task's window-overlap interference from the
+// image: the exact semantics of sched.WindowInterference (overlapping
+// interferers gathered in ascending task-ID order, competitor demands
+// merged per core in first-seen order unless the options request separate
+// competitors, one arbiter bound per shared bank), with the gather and
+// competitor buffers hoisted out of the per-call path. The schedule checker
+// keeps using the graph-based original, so the two implementations verify
+// each other through the differential suites.
+type windower struct {
+	img         *engine.Image
+	arb         arbiter.Arbiter
+	separate    bool
+	totalDemand []model.Accesses // per task, for the zero-demand early out
+	overlapping []model.TaskID
+	comps       []arbiter.Request
+}
+
+func newWindower(img *engine.Image) *windower {
+	w := &windower{
+		img:         img,
+		arb:         img.Opts.Arbiter,
+		separate:    img.Opts.SeparateCompetitors,
+		totalDemand: make([]model.Accesses, img.NumTasks),
+	}
+	for i := 0; i < img.NumTasks; i++ {
+		for _, d := range img.DemandRow(model.TaskID(i)) {
+			w.totalDemand[i] += d
+		}
+	}
+	return w
+}
+
+// interference computes the total interference received by dst given every
+// task's window, writing the per-bank split into perBank (length Banks).
+func (w *windower) interference(rel, fin []model.Cycles, dst model.TaskID, perBank []model.Cycles) model.Cycles {
+	img := w.img
+	var total model.Cycles
+	for b := range perBank {
+		perBank[b] = 0
+	}
+	if w.totalDemand[dst] == 0 {
+		return 0
+	}
+	dstCore := img.CoreOf[dst]
+	w.overlapping = w.overlapping[:0]
+	for i := 0; i < img.NumTasks; i++ {
+		id := model.TaskID(i)
+		if id == dst || img.CoreOf[id] == dstCore {
+			continue
+		}
+		if rel[dst] < fin[id] && rel[id] < fin[dst] {
+			w.overlapping = append(w.overlapping, id)
+		}
+	}
+	if len(w.overlapping) == 0 {
+		return 0
+	}
+	dstRow := img.DemandRow(dst)
+	for b := 0; b < img.Banks; b++ {
+		demand := dstRow[b]
+		if demand == 0 {
+			continue
+		}
+		comps := w.comps[:0]
+		for _, src := range w.overlapping {
+			wd := img.DemandRow(src)[b]
+			if wd == 0 {
+				continue
+			}
+			srcCore := img.CoreOf[src]
+			if w.separate {
+				comps = append(comps, arbiter.Request{Core: srcCore, Demand: wd})
+				continue
+			}
+			merged := false
+			for j := range comps {
+				if comps[j].Core == srcCore {
+					comps[j].Demand += wd
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				comps = append(comps, arbiter.Request{Core: srcCore, Demand: wd})
+			}
+		}
+		w.comps = comps
+		if len(comps) == 0 {
+			continue
+		}
+		bound := w.arb.Bound(arbiter.Request{Core: dstCore, Demand: demand}, comps, model.BankID(b))
+		perBank[b] = bound
+		total += bound
+	}
+	return total
+}
+
 // releasePass computes, into out, the release dates satisfying
 // rel_i = max(m_i, max_{j∈deps} rel_j+R_j, rel_pred+R_pred) by Jacobi
 // iteration from the minimal release dates, with the response times frozen.
 // rel is only read for the deadline horizon; out receives the result. The
 // pass needs at most depth(G) ≤ n rounds; needing more reveals a cycle
 // between the DAG and the per-core orders — the cross-core deadlock.
-func releasePass(g *model.Graph, pred []model.TaskID, resp []model.Cycles, rel, out []model.Cycles, deadline model.Cycles) error {
-	n := g.NumTasks()
-	for i, t := range g.Tasks() {
-		out[i] = t.MinRelease
-	}
+func releasePass(img *engine.Image, pred []model.TaskID, resp []model.Cycles, rel, out []model.Cycles, deadline model.Cycles) error {
+	n := img.NumTasks
+	copy(out, img.MinRelease)
 	next := make([]model.Cycles, n)
 	for round := 0; ; round++ {
 		if round > n+1 {
@@ -181,8 +310,8 @@ func releasePass(g *model.Graph, pred []model.TaskID, resp []model.Cycles, rel, 
 		changed := false
 		for i := 0; i < n; i++ {
 			id := model.TaskID(i)
-			want := g.Task(id).MinRelease
-			for _, p := range g.Predecessors(id) {
+			want := img.MinRelease[i]
+			for _, p := range img.Preds(id) {
 				if f := out[p] + resp[p]; f > want {
 					want = f
 				}

@@ -1,0 +1,67 @@
+package incremental
+
+import (
+	"context"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// backend adapts this package to the engine registry: cold Analyze builds
+// per-run state over the shared image (safe for concurrent use — the image
+// is read-only), NewWarm hands out single-goroutine warm schedulers.
+type backend struct{}
+
+func init() { engine.Register(engine.Incremental, backend{}) }
+
+// Analyze runs one cold analysis of the image's baseline orders.
+func (backend) Analyze(ctx context.Context, img *engine.Image) (*sched.Result, error) {
+	st := newState(img, img.NewOrders())
+	st.cancel = img.CancelWith(ctx)
+	return st.run()
+}
+
+// NewWarm returns a warm-start scheduler over the image, exposed through
+// the engine's Warm interface.
+func (backend) NewWarm(img *engine.Image) engine.Warm {
+	return &warmScheduler{sc: newWarmScheduler(img)}
+}
+
+// warmScheduler adapts Scheduler to engine.Warm: the context's Done channel
+// (when cancellable) replaces the compiled cancellation channel for the
+// duration of the call, matching the per-request deadline pattern of the
+// serving layer. It exists as a separate type because Scheduler's own
+// Reschedule takes edits only — the harness-facing API predates the engine
+// and stays source-compatible.
+type warmScheduler struct{ sc *Scheduler }
+
+func (w *warmScheduler) Orders() *engine.Orders { return w.sc.Orders() }
+
+func (w *warmScheduler) Warm() bool { return w.sc.Warm() }
+
+// setCancel installs the context's cancellation for one call, preserving
+// the image's compiled Options.Cancel when the context is not cancellable
+// (context.Background reports a nil Done channel).
+//
+//mia:hotpath
+func (w *warmScheduler) setCancel(ctx context.Context) {
+	if d := ctx.Done(); d != nil {
+		w.sc.SetCancel(d)
+	}
+}
+
+func (w *warmScheduler) Analyze(ctx context.Context) (*sched.Result, error) {
+	w.setCancel(ctx)
+	return w.sc.Schedule()
+}
+
+func (w *warmScheduler) AnalyzeCold(ctx context.Context) (*sched.Result, error) {
+	w.setCancel(ctx)
+	return w.sc.scheduleCold()
+}
+
+//mia:hotpath warm replay entry: 0 allocs/op pinned by the engine alloc guard
+func (w *warmScheduler) Reschedule(ctx context.Context, edits ...engine.Edit) (*sched.Result, error) {
+	w.setCancel(ctx)
+	return w.sc.Reschedule(edits...)
+}

@@ -29,12 +29,20 @@
 // task to the schedule can only increase the interference received by
 // others, hence finish dates only move later and a release date, once
 // assigned, never needs revisiting.
+//
+// The event loop reads a compiled engine.Image — flat per-task arrays, CSR
+// adjacency, one flat demand backing array — rather than the pointer-rich
+// model.Graph, and runs the per-core orders from a mutable engine.Orders
+// overlay. Package-level Schedule stays the compatibility entry point that
+// compiles per call; the engine backend ("incremental") and the warm-start
+// Scheduler reuse one image across runs.
 package incremental
 
 import (
 	"sort"
 
 	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
 )
@@ -46,9 +54,17 @@ const Algorithm = "incremental"
 // opts. It returns an error wrapping sched.ErrUnschedulable when the
 // configured deadline is crossed or the per-core orders deadlock against
 // the dependency DAG; the graph itself is never mutated.
+//
+// Schedule is the compatibility wrapper around the engine: it compiles a
+// fresh image on every call (validation, adjacency flattening, demand
+// layout) and analyzes it once. Callers that analyze the same graph many
+// times should engine.Compile once and go through the engine façade.
 func Schedule(g *model.Graph, opts sched.Options) (*sched.Result, error) {
-	s := newState(g, opts)
-	return s.run()
+	img, err := engine.Compile(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newState(img, img.NewOrders()).run()
 }
 
 // slot is the per-core scheduling state: the alive task of the core (if
@@ -81,7 +97,8 @@ type slot struct {
 }
 
 type state struct {
-	g        *model.Graph
+	img      *engine.Image
+	ord      *engine.Orders
 	arb      arbiter.Arbiter
 	deadline model.Cycles
 	separate bool
@@ -117,35 +134,38 @@ type state struct {
 	scratch []arbiter.Request
 }
 
-func newState(g *model.Graph, opts sched.Options) *state {
-	n := g.NumTasks()
-	arb := opts.EffectiveArbiter()
+// newState builds the run state over a compiled image, reading the per-core
+// orders from ord. The image's compiled options select arbiter, deadline,
+// competitor merging, fast path, trace, and default cancellation.
+func newState(img *engine.Image, ord *engine.Orders) *state {
+	n := img.NumTasks
 	s := &state{
-		g:        g,
-		arb:      arb,
-		deadline: opts.EffectiveDeadline(),
-		separate: opts.SeparateCompetitors,
-		fast:     arb.Additive() && !opts.DisableFastPath,
-		trace:    opts.Trace,
-		cancel:   opts.Cancel,
-		res:      sched.NewResult(Algorithm, n, g.Banks),
+		img:      img,
+		ord:      ord,
+		arb:      img.Opts.Arbiter,
+		deadline: img.Opts.Deadline,
+		separate: img.Opts.SeparateCompetitors,
+		fast:     img.Opts.Arbiter.Additive() && !img.Opts.DisableFastPath,
+		trace:    img.Opts.Trace,
+		cancel:   img.Opts.Cancel,
+		res:      sched.NewResult(Algorithm, n, img.Banks),
 		depsLeft: make([]int, n),
-		headIdx:  make([]int, g.Cores),
-		slots:    make([]slot, g.Cores),
+		headIdx:  make([]int, img.Cores),
+		slots:    make([]slot, img.Cores),
 		scratch:  make([]arbiter.Request, 1),
 	}
-	for i := 0; i < n; i++ {
-		if m := g.Task(model.TaskID(i)).MinRelease; m > 0 {
+	for _, m := range img.MinRelease {
+		if m > 0 {
 			s.minRels = append(s.minRels, m)
 		}
 	}
 	sort.Slice(s.minRels, func(i, j int) bool { return s.minRels[i] < s.minRels[j] })
 	for k := range s.slots {
-		s.slots[k].comp = make([][]arbiter.Request, g.Banks)
-		s.slots[k].terms = make([][]model.Cycles, g.Banks)
-		s.slots[k].compIdx = make([][]int32, g.Banks)
+		s.slots[k].comp = make([][]arbiter.Request, img.Banks)
+		s.slots[k].terms = make([][]model.Cycles, img.Banks)
+		s.slots[k].compIdx = make([][]int32, img.Banks)
 		for b := range s.slots[k].compIdx {
-			s.slots[k].compIdx[b] = make([]int32, g.Cores)
+			s.slots[k].compIdx[b] = make([]int32, img.Cores)
 		}
 	}
 	s.reset()
@@ -154,16 +174,15 @@ func newState(g *model.Graph, opts sched.Options) *state {
 
 // reset rewinds the state to the initial instant (cursor 0, nothing closed,
 // nothing alive) without allocating: every buffer is truncated or zeroed in
-// place so that a pooled state can re-run — possibly after the graph's
-// execution orders were mutated — at zero steady-state allocation cost.
-// Min-release dates and dependency counts are order-independent, so they are
-// rebuilt from the graph without re-sorting.
+// place so that a pooled state can re-run — possibly after the order
+// overlay was permuted — at zero steady-state allocation cost. Min-release
+// dates and dependency counts are order-independent, so they are rebuilt
+// from the image without re-sorting.
 //
 //mia:hotpath
 func (s *state) reset() {
-	n := s.g.NumTasks()
-	for i := 0; i < n; i++ {
-		s.depsLeft[i] = len(s.g.Predecessors(model.TaskID(i)))
+	for i := range s.depsLeft {
+		s.depsLeft[i] = s.img.PredCount(model.TaskID(i))
 	}
 	for k := range s.headIdx {
 		s.headIdx[k] = 0
@@ -198,7 +217,7 @@ func (s *state) emit(kind sched.EventKind, t model.Cycles, task model.TaskID, va
 //
 //mia:hotpath steady-state event loop: 0 allocs/op pinned by alloc_test.go
 func (s *state) run() (*sched.Result, error) {
-	n := s.g.NumTasks()
+	n := s.img.NumTasks
 	for s.closed < n {
 		if s.cancel != nil {
 			select {
@@ -269,8 +288,8 @@ func (s *state) closeAt(t model.Cycles) {
 			continue
 		}
 		id := sl.task
-		s.res.Response[id] = s.g.Task(id).WCET + s.res.Interference[id]
-		for _, succ := range s.g.Successors(id) {
+		s.res.Response[id] = s.img.WCET[id] + s.res.Interference[id]
+		for _, succ := range s.img.Succs(id) {
 			s.depsLeft[succ]--
 		}
 		sl.task = model.NoTask
@@ -290,20 +309,19 @@ func (s *state) openAt(t model.Cycles) {
 		if sl.task != model.NoTask {
 			continue // core busy: at most one alive task per core
 		}
-		order := s.g.Order(model.CoreID(k))
+		order := s.ord.Order(model.CoreID(k))
 		if s.headIdx[k] >= len(order) {
 			continue
 		}
 		id := order[s.headIdx[k]]
-		task := s.g.Task(id)
-		if s.depsLeft[id] > 0 || task.MinRelease > t {
+		if s.depsLeft[id] > 0 || s.img.MinRelease[id] > t {
 			continue
 		}
 		s.headIdx[k]++
 		sl.task = id
 		s.res.Release[id] = t
 		s.res.Interference[id] = 0
-		sl.finish = t + task.WCET
+		sl.finish = t + s.img.WCET[id]
 		for b := range sl.comp {
 			for _, r := range sl.comp[b] {
 				sl.compIdx[b][r.Core] = -1
@@ -323,25 +341,25 @@ func (s *state) openAt(t model.Cycles) {
 			if k2 == k || other.task == model.NoTask {
 				continue
 			}
-			src := s.g.Task(other.task)
-			s.addCompetitor(t, sl, task, src)
-			s.addCompetitor(t, other, src, task)
+			s.addCompetitor(t, sl, id, other.task)
+			s.addCompetitor(t, other, other.task, id)
 		}
 	}
 }
 
 // addCompetitor accounts src's demand against dst (alive in slot sl) on
 // every bank they share, and refreshes dst's interference and finish date.
+// Demand rows in the image are zero-extended to the full bank count, so
+// banks outside a task's original ragged row contribute nothing, exactly
+// like the former min-length loop over raw rows.
 //
 //mia:hotpath
-func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src *model.Task) {
+func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src model.TaskID) {
 	var grew model.Cycles
-	banks := len(dst.Demand)
-	if len(src.Demand) < banks {
-		banks = len(src.Demand)
-	}
-	for b := 0; b < banks; b++ {
-		d, w := dst.Demand[b], src.Demand[b]
+	dstRow := s.img.DemandRow(dst)
+	srcRow := s.img.DemandRow(src)
+	for b := range dstRow {
+		d, w := dstRow[b], srcRow[b]
 		if d == 0 || w == 0 {
 			continue
 		}
@@ -359,13 +377,14 @@ func (s *state) addCompetitor(t model.Cycles, sl *slot, dst, src *model.Task) {
 // and returns the growth of dst's interference bound on that bank.
 //
 //mia:hotpath
-func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d, w model.Accesses) model.Cycles {
-	dstReq := arbiter.Request{Core: dst.Core, Demand: d}
+func (s *state) accountOnBank(sl *slot, dst, src model.TaskID, b model.BankID, d, w model.Accesses) model.Cycles {
+	dstReq := arbiter.Request{Core: s.img.CoreOf[dst], Demand: d}
+	srcCore := s.img.CoreOf[src]
 	comps := sl.comp[b]
 
 	if s.separate {
 		// Every task is its own competitor entry.
-		req := arbiter.Request{Core: src.Core, Demand: w}
+		req := arbiter.Request{Core: srcCore, Demand: w}
 		sl.comp[b] = append(comps, req)
 		if s.fast {
 			term := arbiter.One(s.arb, dstReq, req, b, s.scratch)
@@ -383,7 +402,7 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 		// competitor set, then re-evaluate the full bound over it.
 		idx := -1
 		for i := range comps {
-			if comps[i].Core == src.Core {
+			if comps[i].Core == srcCore {
 				idx = i
 				break
 			}
@@ -391,7 +410,7 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 		if idx >= 0 {
 			comps[idx].Demand += w
 		} else {
-			sl.comp[b] = append(comps, arbiter.Request{Core: src.Core, Demand: w})
+			sl.comp[b] = append(comps, arbiter.Request{Core: srcCore, Demand: w})
 		}
 		return s.recomputeBank(sl, dstReq, b)
 	}
@@ -401,10 +420,10 @@ func (s *state) accountOnBank(sl *slot, dst, src *model.Task, b model.BankID, d,
 	// instead of a rescan of the competitor set. This is the speed-up that
 	// the additivity property of Section II.C enables. compIdx finds the
 	// entry of src's core in O(1), replacing the former linear scan.
-	idx := int(sl.compIdx[b][src.Core])
+	idx := int(sl.compIdx[b][srcCore])
 	if idx < 0 {
-		req := arbiter.Request{Core: src.Core, Demand: w}
-		sl.compIdx[b][src.Core] = int32(len(comps))
+		req := arbiter.Request{Core: srcCore, Demand: w}
+		sl.compIdx[b][srcCore] = int32(len(comps))
 		sl.comp[b] = append(comps, req)
 		term := arbiter.One(s.arb, dstReq, req, b, s.scratch)
 		sl.terms[b] = append(sl.terms[b], term)
@@ -434,7 +453,7 @@ func (s *state) recomputeBank(sl *slot, dstReq arbiter.Request, b model.BankID) 
 // the head of some core's order with unmet conditions, or NoTask.
 func (s *state) firstBlocked() model.TaskID {
 	for k := range s.slots {
-		order := s.g.Order(model.CoreID(k))
+		order := s.ord.Order(model.CoreID(k))
 		if s.headIdx[k] < len(order) {
 			return order[s.headIdx[k]]
 		}

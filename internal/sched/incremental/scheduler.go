@@ -2,19 +2,19 @@ package incremental
 
 import (
 	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
 )
 
-// Edit declares one divergence site between the graph's current execution
-// orders and the orders the Scheduler last committed with Schedule: core
-// Core's order may differ at positions From and later, and is guaranteed by
-// the caller to be unchanged at positions before From. An adjacent swap of
-// order positions p and p+1 on core k is Edit{Core: k, From: p}.
-type Edit struct {
-	Core model.CoreID
-	From int
-}
+// Edit declares one divergence site between the analyzed execution orders
+// and the orders the Scheduler last committed with Schedule: core Core's
+// order may differ at positions From and later, and is guaranteed by the
+// caller to be unchanged at positions before From. An adjacent swap of
+// order positions p and p+1 on core k is Edit{Core: k, From: p}. It is an
+// alias of the engine's edit type, so engine.Warm callers and direct
+// Scheduler callers speak the same vocabulary.
+type Edit = engine.Edit
 
 // maxCheckpoints bounds the Scheduler's checkpoint store. When a run records
 // more, every other checkpoint is dropped and the recording stride doubles,
@@ -23,10 +23,11 @@ type Edit struct {
 const maxCheckpoints = 64
 
 // Scheduler is the warm-start façade over the incremental algorithm: a
-// reusable analysis engine bound to one graph and one option set that
-// snapshots its cursor state at event boundaries during full runs, and can
-// then re-analyze a mutated variant of the graph by restoring the latest
-// snapshot unaffected by the mutation and replaying only the suffix.
+// reusable analysis engine bound to one compiled image and one option set
+// that snapshots its cursor state at event boundaries during full runs, and
+// can then re-analyze a mutated variant of the execution orders by
+// restoring the latest snapshot unaffected by the mutation and replaying
+// only the suffix.
 //
 // The intended client is design-space exploration, where neighboring
 // candidates differ from the incumbent by a single adjacent swap in one
@@ -44,39 +45,80 @@ const maxCheckpoints = 64
 // allocation-free (pinned by an AllocsPerRun guard test). Consequently the
 // returned *sched.Result is overwritten by the next Schedule or Reschedule
 // call; callers that need to keep one must copy it. A Scheduler is not safe
-// for concurrent use; give each goroutine its own.
+// for concurrent use; give each goroutine its own — several Schedulers may
+// share one immutable engine.Image.
 //
-// Between calls the caller may mutate ONLY the graph's execution orders
-// (SetOrder/SwapOrder). Mutating tasks, edges, demands or the platform
-// invalidates the Scheduler; build a new one instead.
+// Between calls the caller may mutate ONLY the execution orders (the bound
+// graph's SetOrder/SwapOrder, or the Orders overlay for image-native
+// schedulers). Mutating tasks, edges, demands or the platform invalidates
+// the Scheduler; compile a new image and build a new one instead.
 type Scheduler struct {
-	g  *model.Graph
-	st *state
+	g   *model.Graph // non-nil only for graph-bound schedulers (NewScheduler)
+	img *engine.Image
+	ord *engine.Orders
+	st  *state
+	err error // compile failure at construction, reported by every call
 
 	snaps  []snapshot // committed checkpoints, in cursor order
 	stride int        // record every stride-th event
 	tick   int        // event counter of the recording run
 
 	recording bool // checkpoint hook active (cold Schedule runs only)
-	base      bool // snaps describe g's orders as of the last Schedule
+	base      bool // snaps describe the orders as of the last Schedule
 
 	lastEvents int // event count of the last successful cold run
 }
 
 // NewScheduler builds a warm-start scheduler for g under opts. The graph is
-// captured by reference: Reschedule analyzes whatever orders g currently
-// holds.
+// captured by reference: each Schedule or Reschedule call re-reads g's
+// current per-core execution orders into the scheduler's order overlay, so
+// SwapOrder/SetOrder mutations between calls are analyzed, exactly as
+// before the engine existed. The rest of the graph is compiled once; if
+// compilation (validation) fails, the error surfaces from the first
+// Schedule or Reschedule call.
 func NewScheduler(g *model.Graph, opts sched.Options) *Scheduler {
-	sc := &Scheduler{g: g, st: newState(g, opts), stride: 1}
+	img, err := engine.Compile(g, opts)
+	if err != nil {
+		return &Scheduler{err: err}
+	}
+	sc := newWarmScheduler(img)
+	sc.g = g
+	return sc
+}
+
+// newWarmScheduler builds an image-native scheduler owning a private order
+// overlay — the engine backend's Warm implementation.
+func newWarmScheduler(img *engine.Image) *Scheduler {
+	ord := img.NewOrders()
+	sc := &Scheduler{img: img, ord: ord, st: newState(img, ord), stride: 1}
 	sc.st.ckpt = sc.checkpoint
 	return sc
 }
 
-// Schedule analyzes the graph cold from t=0, rebuilding the checkpoint store
-// as it goes, and commits the graph's current execution orders as the
-// warm-start baseline for subsequent Reschedule calls. The returned Result
-// is owned by the Scheduler and valid only until the next call.
+// Orders exposes the scheduler's mutable order overlay. Graph-bound
+// schedulers overwrite it from the graph at every call; image-native ones
+// (the engine path) treat it as the single source of order truth.
+func (sc *Scheduler) Orders() *engine.Orders { return sc.ord }
+
+// syncOrders re-reads the bound graph's current orders into the overlay.
+// Image-native schedulers have no bound graph and skip it.
+//
+//mia:hotpath
+func (sc *Scheduler) syncOrders() {
+	if sc.g != nil {
+		sc.ord.CopyFrom(sc.g)
+	}
+}
+
+// Schedule analyzes the current orders cold from t=0, rebuilding the
+// checkpoint store as it goes, and commits them as the warm-start baseline
+// for subsequent Reschedule calls. The returned Result is owned by the
+// Scheduler and valid only until the next call.
 func (sc *Scheduler) Schedule() (*sched.Result, error) {
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	sc.syncOrders()
 	sc.st.reset()
 	sc.snaps = sc.snaps[:0]
 	sc.tick = 0
@@ -98,28 +140,45 @@ func (sc *Scheduler) Schedule() (*sched.Result, error) {
 	return res, err
 }
 
-// Reschedule re-analyzes the graph after its execution orders were mutated
-// at the given divergence sites, relative to the orders committed by the
-// last successful Schedule. It restores the latest checkpoint that provably
+// scheduleCold analyzes the current orders from t=0 without recording
+// checkpoints and without committing a baseline — the oracle path for
+// differential comparisons against Reschedule (exploration's
+// DisableWarmStart mode). The committed warm baseline, if any, survives.
+func (sc *Scheduler) scheduleCold() (*sched.Result, error) {
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	sc.syncOrders()
+	sc.st.reset()
+	return sc.st.run()
+}
+
+// Reschedule re-analyzes after the execution orders were mutated at the
+// given divergence sites, relative to the orders committed by the last
+// successful Schedule. It restores the latest checkpoint that provably
 // precedes every site's first possible influence on the schedule and replays
 // only the remaining events; when no checkpoint qualifies (a mutation at the
 // very front of an order), it falls back to a cold replay. Either way the
 // result is bit-identical to what Schedule would compute on the mutated
-// graph — only cheaper.
+// orders — only cheaper.
 //
 // The checkpoint store is never modified: after the caller undoes its
 // mutation (restoring the committed orders), further Reschedule calls
 // against the same baseline remain valid, which is exactly the
 // apply-evaluate-undo pattern of neighborhood search. An unschedulable
-// verdict for the mutated graph likewise leaves the baseline intact. If no
+// verdict for the mutated orders likewise leaves the baseline intact. If no
 // valid baseline exists (never scheduled, or the last cold run failed),
 // Reschedule behaves as Schedule, committing the current orders.
 //
 //mia:hotpath warm replay: 0 allocs/op pinned by alloc_test.go
 func (sc *Scheduler) Reschedule(edits ...Edit) (*sched.Result, error) {
+	if sc.err != nil {
+		return nil, sc.err
+	}
 	if !sc.base {
 		return sc.Schedule()
 	}
+	sc.syncOrders()
 	for i := len(sc.snaps) - 1; i >= 0; i-- {
 		if snapSafe(&sc.snaps[i], edits) {
 			sc.st.restore(&sc.snaps[i])
@@ -132,13 +191,18 @@ func (sc *Scheduler) Reschedule(edits ...Edit) (*sched.Result, error) {
 
 // SetCancel replaces the cancellation channel consulted by subsequent
 // Schedule and Reschedule calls, enabling per-request deadlines on a
-// long-lived Scheduler (Options.Cancel is captured at construction time and
-// would otherwise be fixed for the Scheduler's whole life). A canceled call
+// long-lived Scheduler (Options.Cancel is compiled into the image and would
+// otherwise be fixed for the Scheduler's whole life). A canceled call
 // returns sched.ErrCanceled and never corrupts the warm state: a canceled
 // cold Schedule simply leaves the Scheduler without a baseline (the next
 // call runs cold), and a canceled Reschedule leaves the committed
 // checkpoints untouched.
-func (sc *Scheduler) SetCancel(ch <-chan struct{}) { sc.st.cancel = ch }
+func (sc *Scheduler) SetCancel(ch <-chan struct{}) {
+	if sc.err != nil {
+		return
+	}
+	sc.st.cancel = ch
+}
 
 // Warm reports whether the Scheduler holds a valid warm-start baseline: a
 // successful cold Schedule has committed checkpoints and the caller has not

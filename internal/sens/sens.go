@@ -5,18 +5,30 @@
 // O(n²) algorithm — with the O(n⁴) baseline a single sensitivity sweep of a
 // 384-task graph would cost hours instead of milliseconds.
 //
+// Every probe mutates WCETs or demands — the quantities a compiled
+// engine.Image freezes — so probes compile a scaled instance and analyze it
+// through the engine façade (there is nothing to warm-start across probes:
+// consecutive probes differ in every task's parameters, not in an order
+// suffix). Cancellation flows from the caller's context into each probe's
+// analysis.
+//
 // Scales are expressed in permille (integer thousandths) to keep the
 // analysis exact and deterministic: a scale of 1250 means every WCET (or
 // demand) is multiplied by 1.25, rounding up.
 package sens
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
+
+// eng runs every probe: the O(n²) incremental analysis.
+var eng = engine.MustNew(engine.Incremental)
 
 // scaleCap bounds the search: growth beyond 64× means the deadline is
 // effectively unconstraining.
@@ -24,31 +36,44 @@ const scaleCap = 64_000
 
 // feasible reports whether the graph, transformed by apply(permille),
 // meets the deadline.
-func feasible(g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64), p int64) bool {
+func feasible(ctx context.Context, g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64), p int64) bool {
 	c := g.Clone()
 	apply(c, p)
 	probe := opts
 	probe.Deadline = deadline
-	_, err := incremental.Schedule(c, probe)
+	img, err := engine.Compile(c, probe)
+	if err != nil {
+		return false
+	}
+	_, err = eng.Analyze(ctx, img)
 	return err == nil
 }
 
 // maxScale binary-searches the largest feasible permille for a monotone
 // transformation. It returns 0 if even scale 0 is infeasible and scaleCap
 // if the cap never becomes infeasible.
-func maxScale(g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64)) (int64, error) {
+func maxScale(ctx context.Context, g *model.Graph, opts sched.Options, deadline model.Cycles, apply func(*model.Graph, int64)) (int64, error) {
 	if deadline <= 0 {
 		return 0, fmt.Errorf("sens: sensitivity needs a positive deadline")
 	}
-	if !feasible(g, opts, deadline, apply, 1000) {
+	if !feasible(ctx, g, opts, deadline, apply, 1000) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		// Below nominal: search [0, 1000).
-		if !feasible(g, opts, deadline, apply, 0) {
+		if !feasible(ctx, g, opts, deadline, apply, 0) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			return 0, fmt.Errorf("sens: infeasible even at scale 0")
 		}
 		lo, hi := int64(0), int64(1000) // lo feasible, hi infeasible
 		for lo+1 < hi {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			mid := (lo + hi) / 2
-			if feasible(g, opts, deadline, apply, mid) {
+			if feasible(ctx, g, opts, deadline, apply, mid) {
 				lo = mid
 			} else {
 				hi = mid
@@ -58,19 +83,28 @@ func maxScale(g *model.Graph, opts sched.Options, deadline model.Cycles, apply f
 	}
 	// At or above nominal: double until infeasible, then bisect.
 	lo, hi := int64(1000), int64(2000)
-	for hi <= scaleCap && feasible(g, opts, deadline, apply, hi) {
+	for hi <= scaleCap && feasible(ctx, g, opts, deadline, apply, hi) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		lo, hi = hi, hi*2
 	}
 	if hi > scaleCap {
 		return scaleCap, nil
 	}
 	for lo+1 < hi {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		mid := (lo + hi) / 2
-		if feasible(g, opts, deadline, apply, mid) {
+		if feasible(ctx, g, opts, deadline, apply, mid) {
 			lo = mid
 		} else {
 			hi = mid
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	return lo, nil
 }
@@ -95,16 +129,16 @@ func scaleDemands(g *model.Graph, p int64) {
 
 // MaxWCETScale returns the largest permille factor by which all WCETs can
 // be scaled while the schedule still meets the deadline (1000 = nominal).
-func MaxWCETScale(g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
-	return maxScale(g, opts, deadline, scaleWCETs)
+func MaxWCETScale(ctx context.Context, g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
+	return maxScale(ctx, g, opts, deadline, scaleWCETs)
 }
 
 // MaxDemandScale returns the largest permille factor by which all memory
 // demands can be scaled while meeting the deadline. Demands only influence
 // interference, so this measures the system's robustness against
 // underestimated access counts.
-func MaxDemandScale(g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
-	return maxScale(g, opts, deadline, scaleDemands)
+func MaxDemandScale(ctx context.Context, g *model.Graph, opts sched.Options, deadline model.Cycles) (int64, error) {
+	return maxScale(ctx, g, opts, deadline, scaleDemands)
 }
 
 // TaskSlack is the per-task criticality metric: the extra WCET (in cycles)
@@ -117,13 +151,17 @@ type TaskSlack struct {
 // Criticality computes every task's individual WCET slack under the
 // deadline and returns the list ordered by task ID. Tasks with zero slack
 // are the critical ones: any overrun breaks the schedule.
-func Criticality(g *model.Graph, opts sched.Options, deadline model.Cycles) ([]TaskSlack, error) {
+func Criticality(ctx context.Context, g *model.Graph, opts sched.Options, deadline model.Cycles) ([]TaskSlack, error) {
 	if deadline <= 0 {
 		return nil, fmt.Errorf("sens: sensitivity needs a positive deadline")
 	}
 	probe := opts
 	probe.Deadline = deadline
-	if _, err := incremental.Schedule(g, probe); err != nil {
+	nominal, err := engine.Compile(g, probe)
+	if err != nil {
+		return nil, fmt.Errorf("sens: nominal system invalid: %w", err)
+	}
+	if _, err := eng.Analyze(ctx, nominal); err != nil {
 		return nil, fmt.Errorf("sens: nominal system infeasible: %w", err)
 	}
 	out := make([]TaskSlack, g.NumTasks())
@@ -133,10 +171,7 @@ func Criticality(g *model.Graph, opts sched.Options, deadline model.Cycles) ([]T
 			c.Task(id).WCET += model.Cycles(extra)
 		}
 		ok := func(extra int64) bool {
-			c := g.Clone()
-			grow(c, extra)
-			_, err := incremental.Schedule(c, probe)
-			return err == nil
+			return feasible(ctx, g, opts, deadline, grow, extra)
 		}
 		// Doubling then bisection over absolute extra cycles.
 		lo, hi := int64(0), int64(1)
@@ -155,6 +190,9 @@ func Criticality(g *model.Graph, opts sched.Options, deadline model.Cycles) ([]T
 					hi = mid
 				}
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		out[i] = TaskSlack{Task: id, Slack: model.Cycles(lo)}
 	}

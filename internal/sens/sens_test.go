@@ -1,6 +1,7 @@
 package sens
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestMaxWCETScaleFigure1(t *testing.T) {
 	// Deadline 14 ≈ double the nominal makespan: the scale must land
 	// between 1000 and the cap, and scaling by the result must be
 	// feasible while result+1 is not.
-	scale, err := MaxWCETScale(g, sched.Options{}, 14)
+	scale, err := MaxWCETScale(context.Background(), g, sched.Options{}, 14)
 	if err != nil {
 		t.Fatalf("MaxWCETScale: %v", err)
 	}
@@ -39,7 +40,7 @@ func TestMaxWCETScaleFigure1(t *testing.T) {
 func TestMaxWCETScaleBelowNominal(t *testing.T) {
 	g := gen.Figure1()
 	// Deadline 5 < nominal makespan 7: only a shrunken system fits.
-	scale, err := MaxWCETScale(g, sched.Options{}, 5)
+	scale, err := MaxWCETScale(context.Background(), g, sched.Options{}, 5)
 	if err != nil {
 		t.Fatalf("MaxWCETScale: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestMaxWCETScaleInfeasible(t *testing.T) {
 	b.AddTask(model.TaskSpec{WCET: 10, MinRelease: 100})
 	g := b.MustBuild()
 	// Even zero WCET cannot beat the minimal release.
-	if _, err := MaxWCETScale(g, sched.Options{}, 50); err == nil || !strings.Contains(err.Error(), "scale 0") {
+	if _, err := MaxWCETScale(context.Background(), g, sched.Options{}, 50); err == nil || !strings.Contains(err.Error(), "scale 0") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -62,7 +63,7 @@ func TestMaxWCETScaleUnconstrained(t *testing.T) {
 	b := model.NewBuilder(1, 1)
 	b.AddTask(model.TaskSpec{WCET: 1})
 	g := b.MustBuild()
-	scale, err := MaxWCETScale(g, sched.Options{}, 1_000_000)
+	scale, err := MaxWCETScale(context.Background(), g, sched.Options{}, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,21 +81,21 @@ func TestMaxDemandScale(t *testing.T) {
 	// Nominal makespan: 20 + min(10,10) = 30. Deadline 40 allows demand
 	// growth until interference adds 20: min(d, d) = 20 → demand 20 →
 	// scale 2000.
-	scale, err := MaxDemandScale(g, sched.Options{}, 40)
+	scale, err := MaxDemandScale(context.Background(), g, sched.Options{}, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if scale != 2000 {
 		t.Fatalf("demand scale = %d, want 2000", scale)
 	}
-	if _, err := MaxDemandScale(g, sched.Options{}, 0); err == nil {
+	if _, err := MaxDemandScale(context.Background(), g, sched.Options{}, 0); err == nil {
 		t.Error("zero deadline accepted")
 	}
 }
 
 func TestCriticality(t *testing.T) {
 	g := gen.Figure1()
-	slacks, err := Criticality(g, sched.Options{}, 10) // makespan 7, 3 spare
+	slacks, err := Criticality(context.Background(), g, sched.Options{}, 10) // makespan 7, 3 spare
 	if err != nil {
 		t.Fatalf("Criticality: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestCriticality(t *testing.T) {
 
 func TestCriticalityInfeasibleNominal(t *testing.T) {
 	g := gen.Figure1()
-	if _, err := Criticality(g, sched.Options{}, 6); err == nil {
+	if _, err := Criticality(context.Background(), g, sched.Options{}, 6); err == nil {
 		t.Fatal("infeasible nominal accepted")
 	}
 }

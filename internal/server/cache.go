@@ -4,36 +4,32 @@ import (
 	"container/list"
 	"sync"
 
-	"github.com/mia-rt/mia/internal/model"
-	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
+	"github.com/mia-rt/mia/internal/engine"
 )
 
 // warmEntry is one worker's warm analysis state for one graph fingerprint: a
-// worker-private clone of the graph (its execution orders are the committed
-// checkpoint baseline; reschedule requests mutate them and undo afterwards)
-// and the incremental scheduler whose checkpoints replay edits against that
-// baseline. Entries are confined to the worker that built them, so nothing
-// here is synchronized.
+// warm analyzer over the shared compiled image. The analyzer's private order
+// overlay is the committed checkpoint baseline; reschedule requests permute
+// it and undo afterwards. Entries are confined to the worker that built
+// them, so nothing here is synchronized — the image itself is immutable and
+// shared by every worker's entry for the fingerprint.
 type warmEntry struct {
 	hash string
-	g    *model.Graph
-	sch  *incremental.Scheduler
+	img  *engine.Image
+	w    engine.Warm
 }
 
-// newWarmEntry clones master for exclusive use by one worker and binds a
-// warm-start scheduler to the clone. Trace hooks are stripped: a shared
-// trace callback across workers would race, and the service has no use for
-// event streams.
-func newWarmEntry(hash string, master *model.Graph, opts sched.Options) *warmEntry {
-	opts.Trace = nil
-	g := master.Clone()
-	return &warmEntry{hash: hash, g: g, sch: incremental.NewScheduler(g, opts)}
+// newWarmEntry binds a fresh warm analyzer to the shared image for exclusive
+// use by one worker. No graph is cloned: the image is the worker-shared,
+// immutable problem statement, and the analyzer's order overlay is the only
+// per-worker mutable state.
+func newWarmEntry(hash string, img *engine.Image) *warmEntry {
+	return &warmEntry{hash: hash, img: img, w: eng.NewWarm(img)}
 }
 
 // warmCache is a worker-private LRU of warmEntry values keyed by graph
-// fingerprint — the "one warm scheduler per worker, LRU of checkpointed
-// graphs" pooling shape. No locking: exactly one goroutine touches it.
+// fingerprint — the "one warm analyzer per worker, LRU of checkpointed
+// images" pooling shape. No locking: exactly one goroutine touches it.
 type warmCache struct {
 	cap     int
 	entries map[string]*list.Element
@@ -69,28 +65,28 @@ func (c *warmCache) put(e *warmEntry) {
 	}
 }
 
-// graphCache is the shared fingerprint → parsed-graph registry. Analyze
+// imageCache is the shared fingerprint → compiled-image registry. Analyze
 // populates it; reschedule-by-hash reads it when the serving worker has no
-// warm entry yet (the graph bytes are not resent). Graphs stored here are
-// master copies: workers clone before mutating orders, so concurrent readers
-// are safe, and the mutex only guards the map/list structure.
-type graphCache struct {
+// warm entry yet (the graph bytes are not resent). Images are immutable, so
+// every worker's warm entry for a fingerprint shares one image — the mutex
+// only guards the map/list structure.
+type imageCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
-	order   *list.List // front = most recently used; values are graphRecord
+	order   *list.List // front = most recently used; values are imageRecord
 }
 
-type graphRecord struct {
+type imageRecord struct {
 	hash string
-	g    *model.Graph
+	img  *engine.Image
 }
 
-func newGraphCache(capacity int) *graphCache {
-	return &graphCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+func newImageCache(capacity int) *imageCache {
+	return &imageCache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
 }
 
-func (c *graphCache) get(hash string) (*model.Graph, bool) {
+func (c *imageCache) get(hash string) (*engine.Image, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[hash]
@@ -98,25 +94,30 @@ func (c *graphCache) get(hash string) (*model.Graph, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(graphRecord).g, true
+	return el.Value.(imageRecord).img, true
 }
 
-func (c *graphCache) put(hash string, g *model.Graph) {
+// put registers img under hash and returns the canonical image for the
+// fingerprint: when two requests compile the same graph concurrently, the
+// first registration wins and both callers proceed on one shared image (the
+// duplicate is dropped, so worker caches never hold divergent copies).
+func (c *imageCache) put(hash string, img *engine.Image) *engine.Image {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[hash]; ok {
 		c.order.MoveToFront(el)
-		return // same fingerprint = same analysis input; keep the original
+		return el.Value.(imageRecord).img // same fingerprint = same analysis input
 	}
-	c.entries[hash] = c.order.PushFront(graphRecord{hash: hash, g: g})
+	c.entries[hash] = c.order.PushFront(imageRecord{hash: hash, img: img})
 	if c.order.Len() > c.cap {
 		last := c.order.Back()
-		delete(c.entries, last.Value.(graphRecord).hash)
+		delete(c.entries, last.Value.(imageRecord).hash)
 		c.order.Remove(last)
 	}
+	return img
 }
 
-func (c *graphCache) len() int {
+func (c *imageCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()

@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/sched"
-	"github.com/mia-rt/mia/internal/sched/incremental"
 )
 
 // scheduleResponse is the body of successful analyze and reschedule
@@ -30,7 +30,7 @@ type scheduleResponse struct {
 }
 
 // marshalSchedule serializes a result while the worker still owns it (the
-// scheduler overwrites its Result on the next run).
+// warm analyzer overwrites its Result on the next run).
 func marshalSchedule(hash string, tasks int, res *sched.Result) ([]byte, error) {
 	return json.Marshal(&scheduleResponse{
 		Hash:              hash,
@@ -63,8 +63,10 @@ func schedReply(ctx context.Context, hash string, tasks int, res *sched.Result, 
 }
 
 // handleAnalyze serves POST /v1/analyze: graph JSON in, schedule out. The
-// parsed graph is registered in the shared fingerprint registry so later
-// reschedule requests can reference it by hash alone.
+// graph is compiled once into an immutable engine image and registered in
+// the shared fingerprint registry, so later requests for the same
+// fingerprint — on any worker — analyze the same compiled image instead of
+// re-deriving it from graph bytes.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.met.analyze.Add(1)
 	g, err := s.readGraph(r)
@@ -72,23 +74,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeReply(w, reply{status: http.StatusBadRequest, body: errBody(err.Error())})
 		return
 	}
-	hash := g.Fingerprint()
-	s.graphs.put(hash, g)
+	img, err := engine.Compile(g, s.cfg.Sched)
+	if err != nil {
+		s.writeReply(w, reply{status: http.StatusBadRequest, body: errBody(err.Error())})
+		return
+	}
+	hash := img.Fingerprint()
+	img = s.images.put(hash, img)
 	s.dispatch(w, r, func(ctx context.Context, wk *worker) reply {
-		return wk.analyze(ctx, s, g, hash)
+		return wk.analyze(ctx, s, img, hash)
 	})
 }
 
 // analyze runs on a worker goroutine. A warm cache entry for the same
 // fingerprint serves the request by replaying from the latest checkpoint
-// (bit-identical to, and much cheaper than, a cold run); otherwise the graph
-// is cloned, analyzed cold, and its checkpoints join the worker's LRU.
-func (wk *worker) analyze(ctx context.Context, s *Server, g *model.Graph, hash string) reply {
+// (bit-identical to, and much cheaper than, a cold run); otherwise a fresh
+// analyzer over the shared image runs cold and its checkpoints join the
+// worker's LRU.
+func (wk *worker) analyze(ctx context.Context, s *Server, img *engine.Image, hash string) reply {
 	if err := ctx.Err(); err != nil {
 		return timeoutReply(ctx)
 	}
 	e, ok := wk.cache.get(hash)
-	warm := ok && e.sch.Warm()
+	warm := ok && e.w.Warm()
 	cacheNote := "miss"
 	if warm {
 		cacheNote = "hit"
@@ -97,18 +105,17 @@ func (wk *worker) analyze(ctx context.Context, s *Server, g *model.Graph, hash s
 		s.met.cacheMisses.Add(1)
 	}
 	if !ok {
-		e = newWarmEntry(hash, g, wk.opts)
+		e = newWarmEntry(hash, img)
 		wk.cache.put(e)
 	}
-	e.sch.SetCancel(ctx.Done())
 	var res *sched.Result
 	var err error
 	if warm {
-		res, err = e.sch.Reschedule() // zero edits: replay from the last checkpoint
+		res, err = e.w.Reschedule(ctx) // zero edits: replay from the last checkpoint
 	} else {
-		res, err = e.sch.Schedule()
+		res, err = e.w.Analyze(ctx)
 	}
-	return schedReply(ctx, hash, e.g.NumTasks(), res, err, cacheNote)
+	return schedReply(ctx, hash, e.img.NumTasks, res, err, cacheNote)
 }
 
 // rescheduleRequest is the body of POST /v1/reschedule: the fingerprint of a
@@ -147,26 +154,27 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 }
 
 // reschedule runs on a worker goroutine. The worker's warm entry for the
-// fingerprint — built from the shared graph registry on a cache miss —
-// provides the checkpoint baseline; the requested swaps are applied to the
-// worker's clone, the suffix behind the earliest divergence is replayed, and
-// the swaps are undone so the baseline stays valid for the next request
-// (the explorer's apply-evaluate-undo pattern, stretched across requests).
+// fingerprint — bound to the shared image from the registry on a cache miss
+// — provides the checkpoint baseline; the requested swaps are applied to the
+// analyzer's order overlay, the suffix behind the earliest divergence is
+// replayed, and the swaps are undone so the baseline stays valid for the
+// next request (the explorer's apply-evaluate-undo pattern, stretched
+// across requests).
 func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleRequest) reply {
 	if err := ctx.Err(); err != nil {
 		return timeoutReply(ctx)
 	}
 	e, ok := wk.cache.get(req.Hash)
 	if !ok {
-		master, found := s.graphs.get(req.Hash)
+		img, found := s.images.get(req.Hash)
 		if !found {
 			return reply{status: http.StatusNotFound,
 				body: errBody("unknown graph hash (analyze it first; the registry is an LRU and may have evicted it)")}
 		}
-		e = newWarmEntry(req.Hash, master, wk.opts)
+		e = newWarmEntry(req.Hash, img)
 		wk.cache.put(e)
 	}
-	warm := e.sch.Warm()
+	warm := e.w.Warm()
 	cacheNote := "miss"
 	if warm {
 		cacheNote = "hit"
@@ -174,39 +182,39 @@ func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleReque
 	} else {
 		s.met.cacheMisses.Add(1)
 	}
-	e.sch.SetCancel(ctx.Done())
 
 	// The checkpoint baseline must describe the *unedited* orders before any
 	// swap is applied: Reschedule without a baseline would commit the edited
 	// orders as the new baseline, which the undo below would then invalidate.
 	if !warm {
-		if _, err := e.sch.Schedule(); err != nil {
-			return schedReply(ctx, req.Hash, e.g.NumTasks(), nil, err, cacheNote)
+		if _, err := e.w.Analyze(ctx); err != nil {
+			return schedReply(ctx, req.Hash, e.img.NumTasks, nil, err, cacheNote)
 		}
 	}
 
-	// Validate and apply the swaps, tracking the earliest divergence
-	// position per core for the replay.
+	// Validate and apply the swaps to the order overlay, tracking the
+	// earliest divergence position per core for the replay.
+	ord := e.w.Orders()
 	firstEdit := make(map[model.CoreID]int, len(req.Swaps))
 	applied := 0
 	undo := func() {
 		for i := applied - 1; i >= 0; i-- {
-			e.g.SwapOrder(model.CoreID(req.Swaps[i].Core), req.Swaps[i].Pos)
+			ord.Swap(model.CoreID(req.Swaps[i].Core), req.Swaps[i].Pos)
 		}
 	}
 	for _, sw := range req.Swaps {
-		if sw.Core < 0 || sw.Core >= e.g.Cores {
+		if sw.Core < 0 || sw.Core >= e.img.Cores {
 			undo()
 			return reply{status: http.StatusBadRequest, cacheNote: cacheNote,
-				body: errBody(fmt.Sprintf("swap core %d out of range (platform has %d cores)", sw.Core, e.g.Cores))}
+				body: errBody(fmt.Sprintf("swap core %d out of range (platform has %d cores)", sw.Core, e.img.Cores))}
 		}
-		order := e.g.Order(model.CoreID(sw.Core))
+		order := ord.Order(model.CoreID(sw.Core))
 		if sw.Pos < 0 || sw.Pos+1 >= len(order) {
 			undo()
 			return reply{status: http.StatusBadRequest, cacheNote: cacheNote,
 				body: errBody(fmt.Sprintf("swap position %d out of range (core %d orders %d tasks)", sw.Pos, sw.Core, len(order)))}
 		}
-		e.g.SwapOrder(model.CoreID(sw.Core), sw.Pos)
+		ord.Swap(model.CoreID(sw.Core), sw.Pos)
 		applied++
 		if cur, ok := firstEdit[model.CoreID(sw.Core)]; !ok || sw.Pos < cur {
 			firstEdit[model.CoreID(sw.Core)] = sw.Pos
@@ -214,17 +222,17 @@ func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleReque
 	}
 	defer undo()
 
-	edits := make([]incremental.Edit, 0, len(firstEdit))
-	for k := 0; k < e.g.Cores; k++ {
+	edits := make([]engine.Edit, 0, len(firstEdit))
+	for k := 0; k < e.img.Cores; k++ {
 		if pos, ok := firstEdit[model.CoreID(k)]; ok {
-			edits = append(edits, incremental.Edit{Core: model.CoreID(k), From: pos})
+			edits = append(edits, engine.Edit{Core: model.CoreID(k), From: pos})
 		}
 	}
-	res, err := e.sch.Reschedule(edits...)
+	res, err := e.w.Reschedule(ctx, edits...)
 	// The response carries the fingerprint of the *edited* graph — exactly
 	// what a cold analyze of that graph would return — computed while the
 	// swaps are still applied.
-	return schedReply(ctx, e.g.Fingerprint(), e.g.NumTasks(), res, err, cacheNote)
+	return schedReply(ctx, e.img.FingerprintOrders(ord), e.img.NumTasks, res, err, cacheNote)
 }
 
 // handleHealthz serves GET /healthz.
@@ -241,7 +249,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.metricsReqs.Add(1)
-	body, err := s.met.snapshot(s.runner.Queued(), s.runner.Capacity(), s.graphs.len())
+	body, err := s.met.snapshot(s.runner.Queued(), s.runner.Capacity(), s.images.len())
 	if err != nil {
 		s.writeReply(w, reply{status: http.StatusInternalServerError, body: errBody(err.Error())})
 		return

@@ -9,9 +9,11 @@
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /metrics        expvar-style counters + latency quantiles
 //
-// Requests pass a bounded admission queue onto a fixed pool of workers;
-// each worker owns an LRU of warm incremental.Scheduler instances keyed by
-// canonical graph fingerprint (model.Graph.Fingerprint), so repeat analyses
+// Requests pass a bounded admission queue onto a fixed pool of workers.
+// Each graph is compiled once into an immutable engine.Image registered by
+// canonical fingerprint (model.Graph.Fingerprint); every worker's warm
+// analyzer for that fingerprint shares the one image, and only the
+// analyzer's order overlay and checkpoints are per-worker. Repeat analyses
 // and single-edit reschedules replay a checkpointed suffix instead of
 // re-analyzing from t=0 — the same warm-start reuse the design-space
 // explorer exploits, now held across requests. Warm replays are bit-identical
@@ -35,10 +37,16 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/mia-rt/mia/internal/engine"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/sched"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
 )
+
+// eng is the analysis backend every request runs on: the paper's incremental
+// scheduler, the only backend with warm-start state worth pooling.
+var eng = engine.MustNew(engine.Incremental)
 
 // Config parameterizes a Server. The zero value is usable: every field has
 // a serving-sensible default.
@@ -52,8 +60,8 @@ type Config struct {
 	QueueDepth int
 	// WarmCacheSize is each worker's warm-scheduler LRU capacity (default 8).
 	WarmCacheSize int
-	// GraphCacheSize is the shared parsed-graph registry capacity (default
-	// 128). Reschedule-by-fingerprint needs the graph bytes of an earlier
+	// GraphCacheSize is the shared compiled-image registry capacity (default
+	// 128). Reschedule-by-fingerprint needs the compiled image of an earlier
 	// analyze; eviction turns later reschedules into 404s.
 	GraphCacheSize int
 	// DefaultTimeout is the per-request deadline when the client does not
@@ -96,9 +104,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// worker is one evaluator goroutine's private state: its warm-scheduler LRU.
+// worker is one evaluator goroutine's private state: its warm-analyzer LRU.
 type worker struct {
-	opts  sched.Options
 	cache *warmCache
 }
 
@@ -107,7 +114,7 @@ type worker struct {
 type Server struct {
 	cfg    Config
 	runner *pool.Runner[*worker]
-	graphs *graphCache
+	images *imageCache
 	met    *metrics
 	mux    *http.ServeMux
 
@@ -124,12 +131,12 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
-		workers[i] = &worker{opts: cfg.Sched, cache: newWarmCache(cfg.WarmCacheSize)}
+		workers[i] = &worker{cache: newWarmCache(cfg.WarmCacheSize)}
 	}
 	s := &Server{
 		cfg:     cfg,
 		runner:  pool.NewRunner(workers, cfg.QueueDepth),
-		graphs:  newGraphCache(cfg.GraphCacheSize),
+		images:  newImageCache(cfg.GraphCacheSize),
 		met:     newMetrics(),
 		mux:     http.NewServeMux(),
 		drainCh: make(chan struct{}),
