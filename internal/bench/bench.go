@@ -86,6 +86,13 @@ type Config struct {
 	// are the artifact.
 	Jobs int
 
+	// Parallelism is the intra-analysis worker count passed through to the
+	// compiled images (sched.Options.Parallelism): it parallelizes each
+	// single analysis internally, orthogonally to Jobs' cross-point
+	// concurrency. Analysis outputs are bit-identical at every level; only
+	// the seconds change.
+	Parallelism int
+
 	// stopwatch, when non-nil, replaces the wall-clock timer: it is called
 	// at the start of a run and returns the elapsed-seconds reader. The
 	// determinism tests inject a fake so CSV/report bytes can be compared
@@ -210,7 +217,7 @@ func RunPanelContext(ctx context.Context, cfg Config, algos []Algorithm, progres
 		if err != nil {
 			return nil, err
 		}
-		img, err := engine.Compile(g, sched.Options{Arbiter: cfg.Arbiter})
+		img, err := engine.Compile(g, sched.Options{Arbiter: cfg.Arbiter, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, err
 		}

@@ -57,6 +57,16 @@ type Image struct {
 	// Demand[id*Banks : (id+1)*Banks], zero-extended to full width.
 	Demand []model.Accesses
 
+	// DemandMask is the bitset form of Demand, one bit per bank: bit b of
+	// task id's MaskWords-word row is set iff Demand[id*Banks+b] > 0. Two
+	// tasks interfere on exactly the banks in the AND of their rows, so
+	// the interference kernels intersect masks word-at-a-time (64 banks
+	// per compare — the cache-block unit of the blocked passes) and only
+	// touch the demand matrix on set bits, in ascending bank order.
+	DemandMask []uint64
+	// MaskWords is the per-task word count of DemandMask: ⌈Banks/64⌉.
+	MaskWords int
+
 	// CSR adjacency: task id's successors are
 	// Succ[SuccStart[id]:SuccStart[id+1]], likewise Pred for the reverse
 	// edges. Both neighbor lists are sorted by task ID.
@@ -95,22 +105,30 @@ func Compile(g *model.Graph, opts sched.Options) (*Image, error) {
 	opts.Deadline = opts.EffectiveDeadline()
 
 	n := g.NumTasks()
+	words := (g.Banks + 63) / 64
 	img := &Image{
-		NumTasks: n,
-		Cores:    g.Cores,
-		Banks:    g.Banks,
-		Opts:     opts,
-		g:        g.Clone(),
+		NumTasks:  n,
+		Cores:     g.Cores,
+		Banks:     g.Banks,
+		MaskWords: words,
+		Opts:      opts,
+		g:         g.Clone(),
 
 		WCET:       make([]model.Cycles, n),
 		MinRelease: make([]model.Cycles, n),
 		CoreOf:     make([]model.CoreID, n),
 		Local:      make([]model.Accesses, n),
 		Demand:     make([]model.Accesses, n*g.Banks),
+		DemandMask: make([]uint64, n*words),
 		SuccStart:  make([]int32, n+1),
 		PredStart:  make([]int32, n+1),
 		OrderStart: make([]int32, g.Cores+1),
 		BankTable:  make([]model.BankID, g.Cores),
+		// Edge and order totals are known up front, so the CSR payloads
+		// are sized exactly — the appends below never reallocate.
+		Succ:     make([]model.TaskID, 0, len(g.Edges())),
+		Pred:     make([]model.TaskID, 0, len(g.Edges())),
+		OrderIDs: make([]model.TaskID, 0, n),
 	}
 	for i, t := range g.Tasks() {
 		img.WCET[i] = t.WCET
@@ -118,6 +136,12 @@ func Compile(g *model.Graph, opts sched.Options) (*Image, error) {
 		img.CoreOf[i] = t.Core
 		img.Local[i] = t.Local
 		copy(img.Demand[i*g.Banks:(i+1)*g.Banks], t.Demand)
+		mask := img.DemandMask[i*words : (i+1)*words]
+		for b, d := range t.Demand {
+			if d > 0 {
+				mask[b>>6] |= 1 << (uint(b) & 63)
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		img.Succ = append(img.Succ, g.Successors(model.TaskID(i))...)
@@ -139,6 +163,14 @@ func Compile(g *model.Graph, opts sched.Options) (*Image, error) {
 //mia:hotpath
 func (img *Image) DemandRow(id model.TaskID) []model.Accesses {
 	return img.Demand[int(id)*img.Banks : (int(id)+1)*img.Banks]
+}
+
+// DemandMaskRow returns task id's per-bank demand bitset: MaskWords words,
+// bit b set iff the task demands bank b. Read-only.
+//
+//mia:hotpath
+func (img *Image) DemandMaskRow(id model.TaskID) []uint64 {
+	return img.DemandMask[int(id)*img.MaskWords : (int(id)+1)*img.MaskWords]
 }
 
 // Succs returns task id's successors sorted by ID. Read-only.

@@ -1,0 +1,99 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/gen"
+)
+
+// TestParallelBitIdenticalAcrossCorpus is the parallel kernel's safety net:
+// over the full differential corpus, for every backend, analyses compiled
+// with Parallelism ∈ {1, 2, 4, 8} are bit-identical — result arrays, makespan,
+// iteration counts, and the per-bank interference split — to the sequential
+// (Parallelism = 0) reference, cold and warm. The reduction order inside the
+// kernel replays the sequential accumulation exactly, so this holds at any
+// GOMAXPROCS; the CI matrix runs this test at GOMAXPROCS ∈ {1, 4} under
+// -race.
+func TestParallelBitIdenticalAcrossCorpus(t *testing.T) {
+	ctx := context.Background()
+	inc := engine.MustNew(engine.Incremental)
+	fix := engine.MustNew(engine.Fixpoint)
+	rta := engine.MustNew(engine.RTA)
+	corpus := diffCorpus()
+	if len(corpus) < 200 {
+		t.Fatalf("corpus has %d instances, want ≥ 200", len(corpus))
+	}
+	for ci, p := range corpus {
+		g := gen.MustLayered(p)
+		opts := corpusOpts(ci)
+		label := fmt.Sprintf("corpus[%d] %d layers × %d, %d×%d shared=%v separate=%v",
+			ci, p.Layers, p.LayerSize, p.Cores, p.Banks, p.SharedBank, opts.SeparateCompetitors)
+
+		// Sequential references, one per backend.
+		seqImg, err := engine.Compile(g, opts)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", label, err)
+		}
+		incRef, err := inc.Analyze(ctx, seqImg)
+		if err != nil {
+			t.Fatalf("%s: sequential incremental: %v", label, err)
+		}
+		fixRef, err := fix.Analyze(ctx, seqImg)
+		if err != nil {
+			t.Fatalf("%s: sequential fixpoint: %v", label, err)
+		}
+		rtaRef, err := rta.Analyze(ctx, seqImg)
+		if err != nil {
+			t.Fatalf("%s: sequential rta: %v", label, err)
+		}
+
+		for _, par := range []int{1, 2, 4, 8} {
+			popts := opts
+			popts.Parallelism = par
+			img, err := engine.Compile(g, popts)
+			if err != nil {
+				t.Fatalf("%s P=%d: compile: %v", label, par, err)
+			}
+			plabel := fmt.Sprintf("%s P=%d", label, par)
+
+			cold, err := inc.Analyze(ctx, img)
+			if err != nil {
+				t.Fatalf("%s: cold incremental: %v", plabel, err)
+			}
+			identical(t, plabel+" incremental-cold", cold, incRef)
+
+			w := inc.NewWarm(img)
+			warm, err := w.Analyze(ctx)
+			if err != nil {
+				t.Fatalf("%s: warm analyze: %v", plabel, err)
+			}
+			identical(t, plabel+" incremental-warm", warm, incRef)
+			replay, err := w.Reschedule(ctx) // zero edits: replay from the last checkpoint
+			if err != nil {
+				t.Fatalf("%s: zero-edit replay: %v", plabel, err)
+			}
+			identical(t, plabel+" incremental-replay", replay, incRef)
+			coldAgain, err := w.AnalyzeCold(ctx)
+			if err != nil {
+				t.Fatalf("%s: analyze cold: %v", plabel, err)
+			}
+			identical(t, plabel+" incremental-warm-cold", coldAgain, incRef)
+			engine.CloseWarm(w) // park-worker shutdown is part of the contract
+
+			fcold, err := fix.Analyze(ctx, img)
+			if err != nil {
+				t.Fatalf("%s: fixpoint: %v", plabel, err)
+			}
+			identical(t, plabel+" fixpoint", fcold, fixRef)
+
+			rcold, err := rta.Analyze(ctx, img)
+			if err != nil {
+				t.Fatalf("%s: rta: %v", plabel, err)
+			}
+			identical(t, plabel+" rta", rcold, rtaRef)
+		}
+	}
+}

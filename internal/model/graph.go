@@ -130,6 +130,13 @@ func (g *Graph) defaultOrder() error {
 // Clone returns a deep copy of the graph. Schedulers never mutate graphs, but
 // preprocessing passes (e.g. demand recompilation under a different bank
 // policy) work on clones to keep the original intact.
+//
+// The copy is slab-backed: tasks, demand vectors, adjacency lists and order
+// lists each live in one flat allocation, with per-row views carved out at
+// full-capacity bounds so an in-place mutation of one row can never grow
+// into its neighbor. Adjacency is copied rather than rebuilt — the source
+// lists are already sorted by construction (rebuildAdjacency), so a copy is
+// identical and skips the per-task re-sorting an edge-list rebuild pays.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		Cores:  g.Cores,
@@ -137,16 +144,48 @@ func (g *Graph) Clone() *Graph {
 		bankOf: g.bankOf,
 		edges:  append([]Edge(nil), g.edges...),
 	}
-	c.tasks = make([]*Task, len(g.tasks))
+	n := len(g.tasks)
+	slab := make([]Task, n)
+	c.tasks = make([]*Task, n)
+	demTotal := 0
+	for _, t := range g.tasks {
+		demTotal += len(t.Demand)
+	}
+	dem := make([]Accesses, demTotal)
+	off := 0
 	for i, t := range g.tasks {
-		c.tasks[i] = t.clone()
+		slab[i] = *t
+		if t.Demand != nil {
+			row := dem[off : off+len(t.Demand) : off+len(t.Demand)]
+			copy(row, t.Demand)
+			slab[i].Demand = row
+			off += len(t.Demand)
+		}
+		c.tasks[i] = &slab[i]
 	}
-	c.order = make([][]TaskID, len(g.order))
-	for k := range g.order {
-		c.order[k] = append([]TaskID(nil), g.order[k]...)
-	}
-	c.rebuildAdjacency()
+	c.succs = cloneIDLists(g.succs)
+	c.preds = cloneIDLists(g.preds)
+	c.order = cloneIDLists(g.order)
 	return c
+}
+
+// cloneIDLists deep-copies a list-of-ID-lists into one flat backing slab
+// with capacity-clamped row views.
+func cloneIDLists(src [][]TaskID) [][]TaskID {
+	total := 0
+	for _, l := range src {
+		total += len(l)
+	}
+	flat := make([]TaskID, total)
+	out := make([][]TaskID, len(src))
+	off := 0
+	for i, l := range src {
+		row := flat[off : off+len(l) : off+len(l)]
+		copy(row, l)
+		out[i] = row
+		off += len(l)
+	}
+	return out
 }
 
 // TotalWCET returns the sum of all task WCETs: the sequential lower bound on

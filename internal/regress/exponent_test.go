@@ -1,0 +1,79 @@
+// Empirical complexity-exponent tracking: the log–log fitter applied to the
+// analysis it was built to characterize. This lives in an external test
+// package so it can drive the engine without entangling regress (a leaf
+// package) in the dependency graph.
+package regress_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/regress"
+	"github.com/mia-rt/mia/internal/sched"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the backend under measurement
+)
+
+// measureIncremental times one cold incremental analysis of an LS64-shaped
+// instance of n tasks (the scalability experiment's family), keeping the
+// fastest of reps runs to suppress scheduler noise.
+func measureIncremental(t *testing.T, n, reps int) float64 {
+	t.Helper()
+	p := gen.NewParams(n/64, 64)
+	p.Seed = 1
+	img, err := engine.Compile(gen.MustLayered(p), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := engine.MustNew(engine.Incremental).NewWarm(img)
+	ctx := context.Background()
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := w.AnalyzeCold(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if s := time.Since(start).Seconds(); best == 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// TestIncrementalExponentTracking pins the empirical complexity of the
+// paper's algorithm with the package's own fitter: over LS64 instances the
+// measured exponent must stay far below the O(n²) worst case and the fit
+// must actually be a power law (high R²). The default sweep tops out at
+// n = 16384 — twice the paper's 8000-task scalability claim — and drops to
+// n = 2048 under -short so the suite stays fast on constrained runners.
+func TestIncrementalExponentTracking(t *testing.T) {
+	sizes := []int{512, 1024, 2048, 4096, 16384}
+	if testing.Short() {
+		sizes = []int{512, 1024, 2048}
+	}
+	secs := make([]float64, len(sizes))
+	for i, n := range sizes {
+		secs[i] = measureIncremental(t, n, 2)
+		t.Logf("n=%5d  %.4fs", n, secs[i])
+	}
+	fit, err := regress.LogLog(sizes, secs)
+	if err != nil {
+		t.Fatalf("LogLog: %v", err)
+	}
+	t.Logf("fit: %s", fit)
+	// Wall-clock measurements on shared machines are noisy; the bounds are
+	// generous. The exponent sat at ≈1.1 when this guard was written — an
+	// excursion past 1.8 means the implementation lost its near-linear
+	// empirical scaling, well before reaching the theoretical O(n²).
+	if fit.Exponent > 1.8 {
+		t.Errorf("empirical exponent %.2f exceeds 1.8 — scaling regressed (fit %s)", fit.Exponent, fit)
+	}
+	if fit.Exponent < 0.5 {
+		t.Errorf("empirical exponent %.2f is implausibly low — measurement broken (fit %s)", fit.Exponent, fit)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R² %.3f too low for a power-law fit (fit %s)", fit.R2, fit)
+	}
+}

@@ -14,10 +14,14 @@ type backend struct{}
 
 func init() { engine.Register(engine.Incremental, backend{}) }
 
-// Analyze runs one cold analysis of the image's baseline orders.
+// Analyze runs one cold analysis of the image's baseline orders. A parallel
+// run's kernel workers are scoped to the call: they spawn on the first
+// parallel event and are joined before returning, so cold analyses never
+// strand goroutines.
 func (backend) Analyze(ctx context.Context, img *engine.Image) (*sched.Result, error) {
 	st := newState(img, img.NewOrders())
 	st.cancel = img.CancelWith(ctx)
+	defer st.close()
 	return st.run()
 }
 
@@ -39,14 +43,18 @@ func (w *warmScheduler) Orders() *engine.Orders { return w.sc.Orders() }
 
 func (w *warmScheduler) Warm() bool { return w.sc.Warm() }
 
-// setCancel installs the context's cancellation for one call, preserving
-// the image's compiled Options.Cancel when the context is not cancellable
-// (context.Background reports a nil Done channel).
+// setCancel installs the context's cancellation for one call, falling back
+// to the image's compiled Options.Cancel when the context is not cancellable
+// (context.Background reports a nil Done channel). The fallback is installed
+// unconditionally so an expired channel from an earlier cancelled request
+// can never poison later background-context runs.
 //
 //mia:hotpath
 func (w *warmScheduler) setCancel(ctx context.Context) {
 	if d := ctx.Done(); d != nil {
 		w.sc.SetCancel(d)
+	} else {
+		w.sc.SetCancel(w.sc.img.Opts.Cancel)
 	}
 }
 
@@ -65,3 +73,8 @@ func (w *warmScheduler) Reschedule(ctx context.Context, edits ...engine.Edit) (*
 	w.setCancel(ctx)
 	return w.sc.Reschedule(edits...)
 }
+
+// Close releases the parked kernel workers of a parallel Scheduler
+// (engine.CloseWarm reaches it through the optional-Close assertion). The
+// analyzer stays usable afterwards.
+func (w *warmScheduler) Close() { w.sc.Close() }

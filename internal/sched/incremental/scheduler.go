@@ -204,6 +204,18 @@ func (sc *Scheduler) SetCancel(ch <-chan struct{}) {
 	sc.st.cancel = ch
 }
 
+// Close joins the parked worker goroutines of the parallel exchange kernel,
+// when the compiled options enabled one (Options.Parallelism > 1). The
+// Scheduler — checkpoints, warm baseline and all — remains fully usable:
+// the next parallel run simply respawns the workers. Call it when retiring
+// a Scheduler from a pool so parked goroutines do not outlive the analyzer
+// that owns them; sequential Schedulers make it a no-op.
+func (sc *Scheduler) Close() {
+	if sc.st != nil {
+		sc.st.close()
+	}
+}
+
 // Warm reports whether the Scheduler holds a valid warm-start baseline: a
 // successful cold Schedule has committed checkpoints and the caller has not
 // invalidated them. Serving layers use it to distinguish a cheap Reschedule

@@ -51,8 +51,13 @@ func (c *warmCache) get(hash string) (*warmEntry, bool) {
 }
 
 // put inserts an entry, evicting the least recently used one past capacity.
+// Displaced analyzers are closed through engine.CloseWarm so a parallel
+// analyzer's parked kernel workers do not outlive its cache residency.
 func (c *warmCache) put(e *warmEntry) {
 	if el, ok := c.entries[e.hash]; ok {
+		if old := el.Value.(*warmEntry); old != e {
+			engine.CloseWarm(old.w)
+		}
 		el.Value = e
 		c.order.MoveToFront(el)
 		return
@@ -60,9 +65,22 @@ func (c *warmCache) put(e *warmEntry) {
 	c.entries[e.hash] = c.order.PushFront(e)
 	if c.order.Len() > c.cap {
 		last := c.order.Back()
-		delete(c.entries, last.Value.(*warmEntry).hash)
+		evicted := last.Value.(*warmEntry)
+		delete(c.entries, evicted.hash)
 		c.order.Remove(last)
+		engine.CloseWarm(evicted.w)
 	}
+}
+
+// closeAll closes every cached analyzer (releasing any parked kernel
+// workers) and empties the cache. Called once the owning worker goroutine
+// has exited.
+func (c *warmCache) closeAll() {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		engine.CloseWarm(el.Value.(*warmEntry).w)
+	}
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
 }
 
 // imageCache is the shared fingerprint → compiled-image registry. Analyze

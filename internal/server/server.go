@@ -112,11 +112,12 @@ type worker struct {
 // Server is the analysis service. Create with New, mount Handler on an
 // http.Server, and shut down with BeginDrain followed by Close.
 type Server struct {
-	cfg    Config
-	runner *pool.Runner[*worker]
-	images *imageCache
-	met    *metrics
-	mux    *http.ServeMux
+	cfg     Config
+	runner  *pool.Runner[*worker]
+	workers []*worker
+	images  *imageCache
+	met     *metrics
+	mux     *http.ServeMux
 
 	drainCh chan struct{} // closed by BeginDrain
 
@@ -136,6 +137,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		runner:  pool.NewRunner(workers, cfg.QueueDepth),
+		workers: workers,
 		images:  newImageCache(cfg.GraphCacheSize),
 		met:     newMetrics(),
 		mux:     http.NewServeMux(),
@@ -183,6 +185,11 @@ func (s *Server) draining() bool {
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.runner.Drain()
+	// The worker goroutines have exited; release any parked intra-analysis
+	// kernel workers their cached warm analyzers still hold.
+	for _, w := range s.workers {
+		w.cache.closeAll()
+	}
 }
 
 // reply is what a worker computes for one request; the handler goroutine
