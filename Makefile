@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke engine-diff engine-diff-parallel ci clean
+.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke serve-load-smoke engine-diff engine-diff-parallel ci clean
 
 all: build
 
@@ -44,6 +44,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/model -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stg -run '^$$' -fuzz FuzzReadSTG -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeWire -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sched/incremental -run '^$$' -fuzz FuzzScheduleInvariants -fuzztime $(FUZZTIME)
 
 # Short benchmark pass compared against the committed baseline. Warn-only by
@@ -52,6 +53,7 @@ fuzz-smoke:
 # AllocsPerRun guard tests under `make test`). Refresh the baseline on a
 # quiet machine with:
 #   $(GO) test ./internal/sched/incremental ./internal/explore ./internal/engine \
+#     ./internal/wire ./internal/server \
 #     -run '^$$' -bench . -benchmem -benchtime 1s | $(GO) run ./cmd/benchdiff -update
 # After -update, re-pin BenchmarkParallelKernel/n=4096/P=4 to 1 alloc/op:
 # at the smoke benchtime that benchmark runs a single iteration, which can
@@ -60,6 +62,7 @@ fuzz-smoke:
 # by the AllocsPerRun guard tests, not by this warn-only smoke pass).
 bench-smoke:
 	$(GO) test ./internal/sched/incremental ./internal/explore ./internal/engine \
+	  ./internal/wire ./internal/server \
 	  -run '^$$' -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
 
 # The tentpole's safety net, runnable on its own: the engine path (compile
@@ -89,7 +92,15 @@ engine-diff-parallel:
 serve-smoke:
 	$(GO) test -tags servesmoke -run TestServeSmoke -v ./cmd/miaserve
 
-ci: lint build race fuzz-smoke bench-smoke serve-smoke
+# Load-path smoke check: builds miaserve, boots it on an ephemeral port, and
+# drives a short miaload run through every mode (wire analyze, unary
+# reschedule, wire batch) under the race detector, then requires a clean
+# SIGINT drain. Same build tag as serve-smoke so `go test ./...` stays
+# exec-free.
+serve-load-smoke:
+	$(GO) test -race -tags servesmoke -run TestServeLoadSmoke -v ./cmd/miaload
+
+ci: lint build race fuzz-smoke bench-smoke serve-smoke serve-load-smoke
 
 clean:
 	$(GO) clean ./...

@@ -15,8 +15,11 @@
 // read. Time regressions warn; allocation-count regressions also warn, and
 // a benchmark whose baseline pins 0 allocs/op warns on ANY allocation, since
 // allocs/op is deterministic and zero is the contract the scheduler's hot
-// path ships with (see the AllocsPerRun guards). With -gha, warnings are
-// emitted as GitHub Actions ::warning annotations.
+// path ships with (see the AllocsPerRun guards). Custom b.ReportMetric units
+// (latency quantiles such as p50-ms) are pinned and compared the same way,
+// except that a metric the baseline does not pin yet compares silently — a
+// benchmark may grow metrics before the baseline is refreshed. With -gha,
+// warnings are emitted as GitHub Actions ::warning annotations.
 package main
 
 import (
@@ -35,10 +38,15 @@ import (
 )
 
 // entry is one benchmark's pinned numbers. AllocsOp is a pointer so a
-// baseline can omit it for benchmarks without -benchmem data.
+// baseline can omit it for benchmarks without -benchmem data. Metrics holds
+// b.ReportMetric custom units (latency quantiles like "p50-ms") by unit
+// name; a baseline that predates a benchmark's custom metrics simply omits
+// them, and such unpinned metrics compare silently — they become pinned on
+// the next -update.
 type entry struct {
-	NsOp     float64  `json:"ns_op"`
-	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp *float64           `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
 // baseline is the committed BENCH_baseline.json: benchmark name (with the
@@ -176,6 +184,26 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 				name, *m.AllocsOp, *b.AllocsOp, *m.AllocsOp / *b.AllocsOp, *threshold)
 			regressions++
 		}
+		// Custom metrics (b.ReportMetric units such as latency quantiles)
+		// compare only where the baseline pins a positive value: a fresh
+		// baseline written before a benchmark grew the metric is not drift
+		// and draws no warning.
+		units := make([]string, 0, len(m.Metrics))
+		for unit := range m.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			pinned, ok := b.Metrics[unit]
+			if !ok || pinned <= 0 {
+				continue
+			}
+			if v := m.Metrics[unit]; v/pinned > *threshold {
+				warn("%s: %.3g %s vs baseline %.3g (%.1fx > %.1fx threshold)",
+					name, v, unit, pinned, v/pinned, *threshold)
+				regressions++
+			}
+		}
 	}
 	switch {
 	case regressions == 0 && drift == 0:
@@ -214,12 +242,22 @@ func parseBench(r io.Reader) (map[string]entry, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				e.NsOp, seenNs = v, true
 			case "allocs/op":
 				av := v
 				e.AllocsOp = &av
+			case "B/op", "MB/s":
+				// Throughput and bytes-per-op track ns/op; comparing them
+				// separately would only double-report the same regression.
+			default:
+				// Anything else is a b.ReportMetric custom unit (latency
+				// quantiles, counts) — carried so baselines can pin it.
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
 			}
 		}
 		if !seenNs {

@@ -202,6 +202,67 @@ func TestDegenerateBaselines(t *testing.T) {
 	}
 }
 
+// sampleQuantileBench mirrors the serve benchmarks' b.ReportMetric output:
+// latency quantiles interleaved with the standard -benchmem columns.
+const sampleQuantileBench = `BenchmarkServeRescheduleBatch-8 	      30	   2500000 ns/op	         1.250 p50-ms	         2.100 p95-ms	         3.000 p99-ms	 1344000 B/op	   15853 allocs/op
+PASS
+`
+
+func TestCustomMetricsPinnedAndCompared(t *testing.T) {
+	path := writeTempBaseline(t, sampleQuantileBench)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	e := b.Benchmarks["BenchmarkServeRescheduleBatch"]
+	if e.Metrics["p50-ms"] != 1.25 || e.Metrics["p95-ms"] != 2.1 || e.Metrics["p99-ms"] != 3 {
+		t.Fatalf("quantile metrics not pinned: %+v", e.Metrics)
+	}
+	if _, ok := e.Metrics["B/op"]; ok {
+		t.Fatalf("B/op must not be treated as a custom metric: %+v", e.Metrics)
+	}
+
+	// Within threshold: quiet.
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(sampleQuantileBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Fatalf("identical quantiles warned:\n%s", out.String())
+	}
+
+	// A quantile regression past the threshold warns even when ns/op holds.
+	slow := strings.Replace(sampleQuantileBench, "1.250 p50-ms", "9.000 p50-ms", 1)
+	out.Reset()
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(slow), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p50-ms") || !strings.Contains(out.String(), "WARN") {
+		t.Fatalf("p50-ms regression must warn:\n%s", out.String())
+	}
+}
+
+func TestCustomMetricsAbsentFromBaselineAreSilent(t *testing.T) {
+	// Baseline written before the benchmark grew quantile metrics: the new
+	// metrics must compare silently, not as drift.
+	noMetrics := "BenchmarkServeRescheduleBatch-8 	      30	   2500000 ns/op	 1344000 B/op	   15853 allocs/op\n"
+	path := writeTempBaseline(t, noMetrics)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-baseline", path}, strings.NewReader(sampleQuantileBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Fatalf("fresh metrics against a metric-less baseline must not warn:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "within 2.0x") {
+		t.Fatalf("missing clean summary:\n%s", out.String())
+	}
+}
+
 func TestEmptyInputFails(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{}, strings.NewReader("no benchmarks here\n"), &out); err == nil {

@@ -1,0 +1,341 @@
+// Command miaload load-tests a running miaserve instance and reports a
+// latency histogram — the measurement harness for the serving layer's two
+// amortization levers: binary wire ingest (vs graph JSON) and batched edit
+// evaluation (vs unary reschedules).
+//
+// It generates one layered task graph (the paper's evaluation shape),
+// registers it with the target server, then drives one of three request
+// mixes against it:
+//
+//	-mode analyze  repeat POST /v1/analyze of the same graph body
+//	-mode unary    POST /v1/reschedule, one edit scenario per request
+//	-mode batch    POST /v1/batch, -batch edit scenarios per request
+//
+// Every edit scenario is an identity pair — the same adjacent swap applied
+// twice — so the evaluated orders equal the baseline and every scenario is
+// schedulable by construction, while the server still pays the full
+// apply-replay-undo cost. -wire switches the graph upload from JSON to the
+// binary wire format (Content-Type application/x-mia-wire).
+//
+// Output is a human-readable summary or, with -json, a machine-readable
+// report (p50/p95/p99/mean/max latency in milliseconds, throughput,
+// response bytes, error count).
+//
+// Usage:
+//
+//	miaload -addr http://127.0.0.1:8080 -mode batch -batch 100 -requests 20
+//	miaload -addr http://127.0.0.1:8080 -mode unary -wire -requests 200 -concurrency 8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/wire"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "miaload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the -json output shape. Latencies are milliseconds.
+type report struct {
+	Mode        string  `json:"mode"`
+	Wire        bool    `json:"wire"`
+	Tasks       int     `json:"tasks"`
+	Requests    int     `json:"requests"`
+	Batch       int     `json:"batch,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	AnalyzeMs   float64 `json:"analyze_ms"`
+	UploadBytes int     `json:"upload_bytes"`
+	Latency     struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	BytesIn     int64   `json:"bytes_in"`
+	Errors      int64   `json:"errors"`
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("miaload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "base URL of the miaserve instance under test")
+		mode        = fs.String("mode", "unary", `request mix: "analyze", "unary" or "batch"`)
+		useWire     = fs.Bool("wire", false, "upload the graph in binary wire format instead of JSON")
+		tasks       = fs.Int("tasks", 512, "generated graph size (layers of 64 tasks on 16 cores)")
+		requests    = fs.Int("requests", 100, "number of HTTP requests to issue")
+		batch       = fs.Int("batch", 32, "edit scenarios per request in batch mode")
+		concurrency = fs.Int("concurrency", 4, "concurrent client goroutines")
+		seed        = fs.Int64("seed", 1, "graph generator seed")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		asJSON      = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "analyze", "unary", "batch":
+	default:
+		return fmt.Errorf("unknown -mode %q (want analyze, unary or batch)", *mode)
+	}
+	if *requests < 1 || *batch < 1 || *concurrency < 1 || *tasks < 64 {
+		return fmt.Errorf("need -requests, -batch, -concurrency >= 1 and -tasks >= 64")
+	}
+
+	layers := *tasks / 64
+	p := gen.NewParams(layers, 64)
+	p.Seed = *seed
+	g, err := gen.Layered(p)
+	if err != nil {
+		return err
+	}
+
+	// Graph upload body in the selected encoding.
+	var body []byte
+	contentType := "application/json"
+	if *useWire {
+		body = wire.EncodeGraph(g)
+		contentType = "application/x-mia-wire"
+	} else {
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return err
+		}
+		body = buf.Bytes()
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*addr, "/")
+
+	// Register the graph (and measure the one-time ingest cost).
+	analyzeStart := time.Now()
+	hash, n, err := doAnalyze(ctx, client, base, contentType, body)
+	analyzeMs := float64(time.Since(analyzeStart)) / float64(time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("priming analyze: %w", err)
+	}
+
+	// Identity-pair edit scenarios, rotated across the cores that have at
+	// least two tasks mapped (a swap needs pos and pos+1).
+	type swap struct{ core, pos int }
+	var sites []swap
+	for k := 0; k < g.Cores; k++ {
+		if ord := g.Order(model.CoreID(k)); len(ord) >= 2 {
+			sites = append(sites, swap{core: k, pos: len(ord) - 2})
+		}
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("generated graph has no core with >= 2 tasks")
+	}
+	swapsFor := func(i int) string {
+		s := sites[i%len(sites)]
+		one := fmt.Sprintf(`{"core":%d,"pos":%d}`, s.core, s.pos)
+		return "[" + one + "," + one + "]"
+	}
+	reqBody := func(i int) (string, string, string) { // path, contentType, body
+		switch *mode {
+		case "analyze":
+			return "/v1/analyze", contentType, string(body)
+		case "unary":
+			return "/v1/reschedule", "application/json",
+				fmt.Sprintf(`{"hash":%q,"swaps":%s}`, hash, swapsFor(i))
+		default: // batch
+			items := make([]string, *batch)
+			for j := range items {
+				items[j] = `{"swaps":` + swapsFor(i**batch+j) + `}`
+			}
+			return "/v1/batch", "application/json",
+				fmt.Sprintf(`{"hash":%q,"items":[%s]}`, hash, strings.Join(items, ","))
+		}
+	}
+
+	// Drive the load: fixed request count fanned over worker goroutines.
+	lat := make([]float64, *requests)
+	var errs, bytesIn atomic.Int64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				path, ct, rb := reqBody(i)
+				start := time.Now()
+				nb, err := doRequest(ctx, client, base+path, ct, rb, *mode == "batch")
+				lat[i] = float64(time.Since(start)) / float64(time.Millisecond)
+				bytesIn.Add(nb)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < *requests; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(loadStart)
+
+	rep := report{
+		Mode:        *mode,
+		Wire:        *useWire,
+		Tasks:       g.NumTasks(),
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		AnalyzeMs:   analyzeMs,
+		UploadBytes: len(body),
+		BytesIn:     bytesIn.Load() + int64(n),
+		Errors:      errs.Load(),
+	}
+	if *mode == "batch" {
+		rep.Batch = *batch
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	rep.Latency.P50 = quantile(sorted, 0.50)
+	rep.Latency.P95 = quantile(sorted, 0.95)
+	rep.Latency.P99 = quantile(sorted, 0.99)
+	rep.Latency.Max = sorted[len(sorted)-1]
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	rep.Latency.Mean = sum / float64(len(sorted))
+	items := *requests
+	if *mode == "batch" {
+		items *= *batch
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ItemsPerSec = float64(items) / secs
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rep)
+	}
+	fmt.Fprintf(stdout, "miaload: mode=%s wire=%v tasks=%d requests=%d", rep.Mode, rep.Wire, rep.Tasks, rep.Requests)
+	if *mode == "batch" {
+		fmt.Fprintf(stdout, " batch=%d", rep.Batch)
+	}
+	fmt.Fprintf(stdout, " concurrency=%d\n", rep.Concurrency)
+	fmt.Fprintf(stdout, "  upload     %d bytes (%s), priming analyze %.2f ms\n", rep.UploadBytes, contentType, rep.AnalyzeMs)
+	fmt.Fprintf(stdout, "  latency ms p50=%.3f p95=%.3f p99=%.3f mean=%.3f max=%.3f\n",
+		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.Mean, rep.Latency.Max)
+	fmt.Fprintf(stdout, "  throughput %.1f items/s, %d bytes in, %d errors\n", rep.ItemsPerSec, rep.BytesIn, rep.Errors)
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// doAnalyze registers the graph and returns its fingerprint.
+func doAnalyze(ctx context.Context, client *http.Client, base, contentType string, body []byte) (string, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("analyze: status %d body %s", resp.StatusCode, rb)
+	}
+	var r struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.Unmarshal(rb, &r); err != nil || r.Hash == "" {
+		return "", 0, fmt.Errorf("analyze response has no hash: %s", rb)
+	}
+	return r.Hash, len(rb), nil
+}
+
+// doRequest issues one load request and validates its outcome: HTTP 200,
+// and for batch responses a complete (untruncated) NDJSON stream whose
+// every line carries status 200.
+func doRequest(ctx context.Context, client *http.Client, url, contentType, body string, isBatch bool) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return int64(len(rb)), err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return int64(len(rb)), fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if !isBatch {
+		return int64(len(rb)), nil
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(rb), "\n"), "\n") {
+		var l struct {
+			Status    int  `json:"status"`
+			Done      bool `json:"done"`
+			Truncated bool `json:"truncated"`
+		}
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			return int64(len(rb)), err
+		}
+		if l.Done && l.Truncated {
+			return int64(len(rb)), fmt.Errorf("batch truncated")
+		}
+		if !l.Done && l.Status != http.StatusOK {
+			return int64(len(rb)), fmt.Errorf("item status %d", l.Status)
+		}
+	}
+	return int64(len(rb)), nil
+}
+
+// quantile reads the q-quantile from an ascending sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/server"
+)
+
+// startServer boots an in-process miaserve core behind httptest, so the
+// client-side harness is exercised over a real HTTP stack without execing a
+// binary (the servesmoke-tagged test covers the binary).
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func runLoad(t *testing.T, addr string, extra ...string) report {
+	t.Helper()
+	args := append([]string{
+		"-addr", addr, "-tasks", "128", "-requests", "6",
+		"-concurrency", "2", "-json",
+	}, extra...)
+	var out bytes.Buffer
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("miaload %v: %v\noutput: %s", args, err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding report: %v\noutput: %s", err, out.String())
+	}
+	return rep
+}
+
+func TestLoadModes(t *testing.T) {
+	ts := startServer(t)
+	for _, mode := range []string{"analyze", "unary", "batch"} {
+		for _, useWire := range []bool{false, true} {
+			t.Run(mode+"/wire="+strconv.FormatBool(useWire), func(t *testing.T) {
+				extra := []string{"-mode", mode, "-batch", "4"}
+				if useWire {
+					extra = append(extra, "-wire")
+				}
+				rep := runLoad(t, ts.URL, extra...)
+				if rep.Errors != 0 {
+					t.Fatalf("report has %d errors", rep.Errors)
+				}
+				if rep.Requests != 6 || rep.Mode != mode || rep.Wire != useWire {
+					t.Errorf("report header %+v, want 6 %s requests (wire=%v)", rep, mode, useWire)
+				}
+				if rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P50 {
+					t.Errorf("degenerate latency histogram %+v", rep.Latency)
+				}
+				if rep.ItemsPerSec <= 0 || rep.BytesIn <= 0 {
+					t.Errorf("throughput %.1f items/s, %d bytes in: want > 0", rep.ItemsPerSec, rep.BytesIn)
+				}
+				if mode == "batch" && rep.Batch != 4 {
+					t.Errorf("report batch %d, want 4", rep.Batch)
+				}
+			})
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "bogus"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(context.Background(), []string{"-requests", "0"}, &out); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if err := run(context.Background(), []string{"-tasks", "1"}, &out); err == nil {
+		t.Error("degenerate task count accepted")
+	}
+}

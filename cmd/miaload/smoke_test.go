@@ -1,0 +1,99 @@
+//go:build servesmoke
+
+package main
+
+// The serve-load smoke test (make serve-load-smoke) drives a short miaload
+// run against a real miaserve process over loopback TCP: build the server
+// binary, boot it, run the harness in every mode including wire ingest, and
+// require zero failed requests plus a clean drain. It sits behind the
+// servesmoke build tag because it compiles and execs a binary — CI runs it
+// with -race so the in-process client side doubles as a race probe.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeLoadSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "miaserve")
+	build := exec.Command("go", "build", "-o", bin, "github.com/mia-rt/mia/cmd/miaserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building miaserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	var out syncOutput
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting miaserve: %v", err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean exit
+
+	base := waitListening(t, &out)
+
+	for _, args := range [][]string{
+		{"-mode", "analyze", "-wire"},
+		{"-mode", "unary"},
+		{"-mode", "batch", "-batch", "8", "-wire"},
+	} {
+		args = append([]string{"-addr", base, "-tasks", "128", "-requests", "8", "-concurrency", "2"}, args...)
+		var loadOut bytes.Buffer
+		if err := run(context.Background(), args, &loadOut); err != nil {
+			t.Fatalf("miaload %v: %v\noutput: %s", args, err, loadOut.String())
+		}
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("miaserve exited with %v, want code 0; output: %s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("miaserve did not exit after SIGINT; output: %s", out.String())
+	}
+}
+
+func waitListening(t *testing.T, out *syncOutput) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (http://\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("miaserve never printed its listening line; output: %s", out.String())
+	return ""
+}
+
+// syncOutput serializes concurrent writes from the child process pipes.
+type syncOutput struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncOutput) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncOutput) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,12 +1,18 @@
 // Command miaserve runs the memory-interference analysis as a long-running
-// HTTP/JSON service with warm-scheduler pooling: repeat analyses and
+// HTTP service with warm-scheduler pooling: repeat analyses and
 // order-edit reschedules of a known graph are served from checkpointed
-// incremental schedulers instead of re-analyzing from t=0.
+// incremental schedulers instead of re-analyzing from t=0. Graphs arrive
+// as JSON or as the flat binary wire format (Content-Type:
+// application/x-mia-wire, see internal/wire), which compiles without an
+// intermediate graph build.
 //
-//	POST /v1/analyze     graph JSON → schedule (release dates, response times)
+//	POST /v1/analyze     graph (JSON or wire) → schedule (release dates, response times)
 //	POST /v1/reschedule  {"hash": ..., "swaps": [{"core":k,"pos":p}, ...]}
+//	POST /v1/batch       one graph + many swap scenarios → streamed NDJSON
+//	                     results with a truncation-aware trailer line
 //	GET  /healthz        liveness (503 while draining)
-//	GET  /metrics        counters, cache hits/misses, p50/p99 latency
+//	GET  /metrics        counters, cache hits/misses, batch/ingest/streaming
+//	                     counters, p50/p99 latency
 //	GET  /debug/pprof/*  profiling — only with -pprof, loopback clients only
 //
 // Admission is load-shedding: a full queue answers 429 with Retry-After.

@@ -88,9 +88,25 @@ type Image struct {
 	// resolved to their effective values.
 	Opts sched.Options
 
-	g      *model.Graph // frozen private clone: fingerprints, NewGraph
+	// Exactly one of g / raw is set at Compile time. JSON-path images
+	// (Compile) carry a frozen private graph clone; wire-path images
+	// (CompileFromWire) carry the decoded flat form and only materialize a
+	// graph lazily, if NewGraph is ever called — fingerprints and edges are
+	// served from the flat form directly, keeping graph assembly off the
+	// hot ingest path. Methods branch on raw (never on g, which gOnce may
+	// be concurrently populating).
+	g     *model.Graph
+	raw   *model.RawGraph
+	gOnce sync.Once
+
 	fpOnce sync.Once
 	fp     string
+
+	// oh fingerprints order overlays from a frozen digest midstate, built
+	// once per image: servers and explorers hash an overlay per evaluated
+	// scenario, and the static graph sections dominate a full rehash.
+	ohOnce sync.Once
+	oh     *model.OrderHasher
 }
 
 // Compile validates g and flattens it into an immutable problem image
@@ -203,26 +219,75 @@ func (img *Image) Order(k model.CoreID) []model.TaskID {
 }
 
 // Edges returns the dependency edges of the compiled graph. Read-only.
-func (img *Image) Edges() []model.Edge { return img.g.Edges() }
+func (img *Image) Edges() []model.Edge {
+	if img.raw != nil {
+		return img.raw.Edges
+	}
+	return img.g.Edges()
+}
 
 // Fingerprint returns the canonical content hash of the compiled graph
 // with its baseline orders (see model.Graph.Fingerprint). Computed once,
-// lazily; safe for concurrent use.
+// lazily; safe for concurrent use. Wire-path and JSON-path images of the
+// same graph hash identically — model.RawGraph.Fingerprint replicates
+// model.Graph.Fingerprint byte for byte.
 func (img *Image) Fingerprint() string {
-	img.fpOnce.Do(func() { img.fp = img.g.Fingerprint() })
+	img.fpOnce.Do(func() {
+		if img.raw != nil {
+			img.fp = img.raw.Fingerprint()
+		} else {
+			img.fp = img.g.Fingerprint()
+		}
+	})
 	return img.fp
 }
 
 // FingerprintOrders returns the canonical content hash the compiled graph
 // would have if its per-core orders were replaced by o: byte-identical to
 // cloning the graph, applying the same permutation, and fingerprinting it.
+// The static graph sections are hashed once per image (frozen digest
+// midstate); each call pays only for the orders section.
+//
+//mia:hotpath
 func (img *Image) FingerprintOrders(o *Orders) string {
-	return img.g.FingerprintWithOrders(o.view)
+	return img.orderHasher().Sum(o.view)
+}
+
+// orderHasher lazily builds the image's frozen-midstate hasher. Off the
+// hot path proper: the once-guard's fast path is a single atomic load and
+// its closure does not escape, so steady-state calls stay allocation-free.
+func (img *Image) orderHasher() *model.OrderHasher {
+	img.ohOnce.Do(func() {
+		if img.raw != nil {
+			img.oh = img.raw.OrderHasher()
+		} else {
+			img.oh = img.g.OrderHasher()
+		}
+	})
+	return img.oh
+}
+
+// graph returns the image's private graph, materializing it from the flat
+// form on first use for wire-path images. The raw form passed full
+// validation at decode time, so materialization cannot fail; an error here
+// is a broken invariant, not an input condition.
+func (img *Image) graph() *model.Graph {
+	img.gOnce.Do(func() {
+		if img.g != nil {
+			return
+		}
+		g, err := img.raw.Graph()
+		if err != nil {
+			panic("engine: validated wire image failed graph materialization: " + err.Error())
+		}
+		img.g = g
+	})
+	return img.g
 }
 
 // NewGraph materializes a fresh mutable graph equal to the compiled one —
 // the image-side replacement for defensive g.Clone() at consumer level.
-func (img *Image) NewGraph() *model.Graph { return img.g.Clone() }
+func (img *Image) NewGraph() *model.Graph { return img.graph().Clone() }
 
 // CancelWith resolves the cancellation channel for one analysis run: the
 // context's Done channel when the context is cancellable, otherwise the

@@ -16,6 +16,7 @@ var coreScopes = []string{
 	"internal/arbiter",
 	"internal/rta",
 	"internal/engine",
+	"internal/wire",
 }
 
 // inAnalysisCore reports whether a package path belongs to the

@@ -2,6 +2,7 @@ package model
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
@@ -32,8 +33,24 @@ func (g *Graph) Fingerprint() string {
 // to cloning the graph, installing the orders, and calling Fingerprint.
 // It exists so a compiled engine image can hash an edited order overlay
 // without materializing a graph; every other hashed field comes from g.
+//
+// Callers hashing many order overlays of one graph should build an
+// OrderHasher once instead: it freezes the digest midstate after the
+// static sections, so each overlay pays only for its own bytes.
 func (g *Graph) FingerprintWithOrders(orders [][]TaskID) string {
 	h := sha256.New()
+	g.hashStatic(h)
+	hashOrders(h, orders)
+	for k := 0; k < g.Cores; k++ {
+		putInt(h, int64(g.BankOf(CoreID(k))))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashStatic feeds the order-independent prefix of the canonical
+// serialization — version, platform shape, tasks, edges — into h. The
+// orders section and the bank table follow it, in that order.
+func (g *Graph) hashStatic(h hash.Hash) {
 	putInt(h, fingerprintVersion)
 	putInt(h, int64(g.Cores))
 	putInt(h, int64(g.Banks))
@@ -56,7 +73,10 @@ func (g *Graph) FingerprintWithOrders(orders [][]TaskID) string {
 		putInt(h, int64(e.To))
 		putInt(h, int64(e.Words))
 	}
+}
 
+// hashOrders feeds the orders section of the canonical serialization.
+func hashOrders(h hash.Hash, orders [][]TaskID) {
 	putInt(h, int64(len(orders)))
 	for _, order := range orders {
 		putInt(h, int64(len(order)))
@@ -64,12 +84,69 @@ func (g *Graph) FingerprintWithOrders(orders [][]TaskID) string {
 			putInt(h, int64(id))
 		}
 	}
+}
 
-	for k := 0; k < g.Cores; k++ {
-		putInt(h, int64(g.BankOf(CoreID(k))))
+// OrderHasher fingerprints order overlays of one fixed graph. It snapshots
+// the SHA-256 midstate after the static sections (platform shape, tasks,
+// edges) once, so each Sum hashes only the orders section and the bank
+// table — the per-scenario cost of fingerprinting an edit drops from
+// O(graph) to O(tasks). Sum(orders) is byte-identical to the corresponding
+// FingerprintWithOrders call; the differential suites pin this.
+//
+// An OrderHasher is immutable after construction and safe for concurrent
+// Sum calls.
+type OrderHasher struct {
+	state []byte  // marshaled digest midstate after the static sections
+	bank  []int64 // bank-table suffix hashed after the orders section
+}
+
+// OrderHasher returns a reusable overlay fingerprinter for this graph.
+func (g *Graph) OrderHasher() *OrderHasher {
+	h := sha256.New()
+	g.hashStatic(h)
+	bank := make([]int64, g.Cores)
+	for k := range bank {
+		bank[k] = int64(g.BankOf(CoreID(k)))
 	}
+	return newOrderHasher(h, bank)
+}
 
+// newOrderHasher freezes the digest midstate. The stdlib SHA-256 digest
+// implements encoding.BinaryMarshaler and never fails; a failure here is a
+// broken invariant, not an input condition.
+func newOrderHasher(h hash.Hash, bank []int64) *OrderHasher {
+	m, ok := h.(encoding.BinaryMarshaler)
+	if !ok {
+		panic("model: sha256 digest does not marshal")
+	}
+	state, err := m.MarshalBinary()
+	if err != nil {
+		panic("model: marshaling sha256 midstate: " + err.Error())
+	}
+	return &OrderHasher{state: state, bank: bank}
+}
+
+// Sum returns the fingerprint of the graph with its orders replaced by
+// orders, resuming from the frozen midstate.
+//
+//mia:hotpath
+func (oh *OrderHasher) Sum(orders [][]TaskID) string {
+	h := sha256.New()
+	restoreMidstate(h, oh.state)
+	hashOrders(h, orders)
+	for _, b := range oh.bank {
+		putInt(h, b)
+	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// restoreMidstate rewinds a fresh digest to a frozen midstate. Restoring a
+// state the same stdlib digest produced never fails; a failure here is a
+// broken invariant, not an input condition.
+func restoreMidstate(h hash.Hash, state []byte) {
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic("model: restoring sha256 midstate: " + err.Error())
+	}
 }
 
 // putInt feeds one integer into the hash in fixed-width little-endian form,

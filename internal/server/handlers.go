@@ -69,12 +69,7 @@ func schedReply(ctx context.Context, hash string, tasks int, res *sched.Result, 
 // re-deriving it from graph bytes.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.met.analyze.Add(1)
-	g, err := s.readGraph(r)
-	if err != nil {
-		s.writeReply(w, reply{status: http.StatusBadRequest, body: errBody(err.Error())})
-		return
-	}
-	img, err := engine.Compile(g, s.cfg.Sched)
+	img, err := s.compileBody(r)
 	if err != nil {
 		s.writeReply(w, reply{status: http.StatusBadRequest, body: errBody(err.Error())})
 		return
@@ -149,29 +144,41 @@ func (s *Server) handleReschedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dispatch(w, r, func(ctx context.Context, wk *worker) reply {
-		return wk.reschedule(ctx, s, req)
+		return wk.whatIf(ctx, s, req.Hash, req.Swaps, nil)
 	})
 }
 
-// reschedule runs on a worker goroutine. The worker's warm entry for the
-// fingerprint — bound to the shared image from the registry on a cache miss
-// — provides the checkpoint baseline; the requested swaps are applied to the
-// analyzer's order overlay, the suffix behind the earliest divergence is
-// replayed, and the swaps are undone so the baseline stays valid for the
-// next request (the explorer's apply-evaluate-undo pattern, stretched
-// across requests).
-func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleRequest) reply {
+// whatIf runs on a worker goroutine and evaluates one edit scenario against
+// a previously registered graph: it is the shared core of the unary
+// reschedule endpoint and of every batch item, so the two paths cannot
+// drift apart. The worker's warm entry for the fingerprint — bound to the
+// shared image from the registry on a cache miss — provides the checkpoint
+// baseline; the requested swaps are applied to the analyzer's order
+// overlay, the suffix behind the earliest divergence is replayed, and the
+// swaps are undone so the baseline stays valid for the next request (the
+// explorer's apply-evaluate-undo pattern, stretched across requests).
+//
+// memo, when non-nil, memoizes successful replies by the fingerprint of
+// the evaluated configuration. Equal fingerprints mean identical analysis
+// inputs mean an identical Result (the repository's core bit-identity
+// invariant), so a scenario whose applied orders match an earlier one —
+// different swap sequences can reach the same configuration — is answered
+// with the earlier reply's bytes without replaying. The batch path passes
+// a per-batch map; the map is worker-confined, so no locking. Unary
+// requests pass nil: cross-request result reuse would need an invalidation
+// story, while a batch scopes the memo to one stream naturally.
+func (wk *worker) whatIf(ctx context.Context, s *Server, hash string, swaps []swapEdit, memo map[string]reply) reply {
 	if err := ctx.Err(); err != nil {
 		return timeoutReply(ctx)
 	}
-	e, ok := wk.cache.get(req.Hash)
+	e, ok := wk.cache.get(hash)
 	if !ok {
-		img, found := s.images.get(req.Hash)
+		img, found := s.images.get(hash)
 		if !found {
 			return reply{status: http.StatusNotFound,
 				body: errBody("unknown graph hash (analyze it first; the registry is an LRU and may have evicted it)")}
 		}
-		e = newWarmEntry(req.Hash, img)
+		e = newWarmEntry(hash, img)
 		wk.cache.put(e)
 	}
 	warm := e.w.Warm()
@@ -188,21 +195,21 @@ func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleReque
 	// orders as the new baseline, which the undo below would then invalidate.
 	if !warm {
 		if _, err := e.w.Analyze(ctx); err != nil {
-			return schedReply(ctx, req.Hash, e.img.NumTasks, nil, err, cacheNote)
+			return schedReply(ctx, hash, e.img.NumTasks, nil, err, cacheNote)
 		}
 	}
 
 	// Validate and apply the swaps to the order overlay, tracking the
 	// earliest divergence position per core for the replay.
 	ord := e.w.Orders()
-	firstEdit := make(map[model.CoreID]int, len(req.Swaps))
+	firstEdit := make(map[model.CoreID]int, len(swaps))
 	applied := 0
 	undo := func() {
 		for i := applied - 1; i >= 0; i-- {
-			ord.Swap(model.CoreID(req.Swaps[i].Core), req.Swaps[i].Pos)
+			ord.Swap(model.CoreID(swaps[i].Core), swaps[i].Pos)
 		}
 	}
-	for _, sw := range req.Swaps {
+	for _, sw := range swaps {
 		if sw.Core < 0 || sw.Core >= e.img.Cores {
 			undo()
 			return reply{status: http.StatusBadRequest, cacheNote: cacheNote,
@@ -228,11 +235,22 @@ func (wk *worker) reschedule(ctx context.Context, s *Server, req rescheduleReque
 			edits = append(edits, engine.Edit{Core: model.CoreID(k), From: pos})
 		}
 	}
-	res, err := e.w.Reschedule(ctx, edits...)
 	// The response carries the fingerprint of the *edited* graph — exactly
 	// what a cold analyze of that graph would return — computed while the
-	// swaps are still applied.
-	return schedReply(ctx, e.img.FingerprintOrders(ord), e.img.NumTasks, res, err, cacheNote)
+	// swaps are applied. It is also the memo key: with the image's frozen
+	// midstate hasher this costs O(tasks), far below a replay.
+	fp := e.img.FingerprintOrders(ord)
+	if memo != nil {
+		if rep, ok := memo[fp]; ok {
+			return rep
+		}
+	}
+	res, err := e.w.Reschedule(ctx, edits...)
+	rep := schedReply(ctx, fp, e.img.NumTasks, res, err, cacheNote)
+	if memo != nil && rep.status == http.StatusOK {
+		memo[fp] = rep
+	}
+	return rep
 }
 
 // handleHealthz serves GET /healthz.

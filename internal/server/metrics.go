@@ -22,8 +22,26 @@ type metrics struct {
 
 	analyze     atomic.Int64
 	reschedule  atomic.Int64
+	batch       atomic.Int64
 	healthz     atomic.Int64
 	metricsReqs atomic.Int64
+
+	// Graph ingest path split: JSON decode+Compile vs binary wire fast path.
+	ingestJSON atomic.Int64
+	ingestWire atomic.Int64
+
+	// streamedBytes totals the NDJSON bytes written by batch responses
+	// (result lines and trailers, including truncated streams).
+	streamedBytes atomic.Int64
+
+	// items is the items-per-batch histogram: fixed decade buckets (≤1,
+	// ≤10, ≤100, ≤1000, >1000) plus sum and max, enough to tell sweep-sized
+	// batches from chatty unary-like usage without tracking quantiles.
+	items struct {
+		mu                               sync.Mutex
+		le1, le10, le100, le1000, gt1000 int64
+		sum, max                         int64
+	}
 
 	resp2xx atomic.Int64
 	resp4xx atomic.Int64
@@ -55,6 +73,28 @@ func (m *metrics) observeLatency(d time.Duration) {
 	m.lat.next = (m.lat.next + 1) % latencyWindow
 	m.lat.total++
 	m.lat.mu.Unlock()
+}
+
+// observeBatchItems records one batch request's scenario count.
+func (m *metrics) observeBatchItems(n int) {
+	m.items.mu.Lock()
+	switch {
+	case n <= 1:
+		m.items.le1++
+	case n <= 10:
+		m.items.le10++
+	case n <= 100:
+		m.items.le100++
+	case n <= 1000:
+		m.items.le1000++
+	default:
+		m.items.gt1000++
+	}
+	m.items.sum += int64(n)
+	if int64(n) > m.items.max {
+		m.items.max = int64(n)
+	}
+	m.items.mu.Unlock()
 }
 
 // countResponse tallies a response by status class.
@@ -98,9 +138,26 @@ type metricsSnapshot struct {
 	Requests      struct {
 		Analyze    int64 `json:"analyze"`
 		Reschedule int64 `json:"reschedule"`
+		Batch      int64 `json:"batch"`
 		Healthz    int64 `json:"healthz"`
 		Metrics    int64 `json:"metrics"`
 	} `json:"requests"`
+	Ingest struct {
+		JSON int64 `json:"json"`
+		Wire int64 `json:"wire"`
+	} `json:"ingest"`
+	Batch struct {
+		Items struct {
+			Le1    int64 `json:"le_1"`
+			Le10   int64 `json:"le_10"`
+			Le100  int64 `json:"le_100"`
+			Le1000 int64 `json:"le_1000"`
+			Gt1000 int64 `json:"gt_1000"`
+			Sum    int64 `json:"sum"`
+			Max    int64 `json:"max"`
+		} `json:"items"`
+		StreamedBytes int64 `json:"streamed_bytes"`
+	} `json:"batch"`
 	Responses struct {
 		Class2xx int64 `json:"2xx"`
 		Class4xx int64 `json:"4xx"`
@@ -131,8 +188,21 @@ func (m *metrics) snapshot(queueDepth, queueCap, graphs int) ([]byte, error) {
 	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Requests.Analyze = m.analyze.Load()
 	s.Requests.Reschedule = m.reschedule.Load()
+	s.Requests.Batch = m.batch.Load()
 	s.Requests.Healthz = m.healthz.Load()
 	s.Requests.Metrics = m.metricsReqs.Load()
+	s.Ingest.JSON = m.ingestJSON.Load()
+	s.Ingest.Wire = m.ingestWire.Load()
+	m.items.mu.Lock()
+	s.Batch.Items.Le1 = m.items.le1
+	s.Batch.Items.Le10 = m.items.le10
+	s.Batch.Items.Le100 = m.items.le100
+	s.Batch.Items.Le1000 = m.items.le1000
+	s.Batch.Items.Gt1000 = m.items.gt1000
+	s.Batch.Items.Sum = m.items.sum
+	s.Batch.Items.Max = m.items.max
+	m.items.mu.Unlock()
+	s.Batch.StreamedBytes = m.streamedBytes.Load()
 	s.Responses.Class2xx = m.resp2xx.Load()
 	s.Responses.Class4xx = m.resp4xx.Load()
 	s.Responses.Class5xx = m.resp5xx.Load()

@@ -3,9 +3,13 @@
 // production north star asks for, and the shape used by online bandwidth
 // regulation controllers that re-run interference analysis in a loop.
 //
-//	POST /v1/analyze     graph JSON in → schedule (Θ, R, makespan) out
+//	POST /v1/analyze     graph (JSON or binary wire format) in → schedule
+//	                     (Θ, R, makespan) out
 //	POST /v1/reschedule  fingerprint + order edits → schedule out, served
 //	                     from a warm scheduler checkpoint when possible
+//	POST /v1/batch       one graph (by value or fingerprint) + many edit
+//	                     scenarios → streamed NDJSON, one result line per
+//	                     scenario as it completes, truncation-marked trailer
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /metrics        expvar-style counters + latency quantiles
 //
@@ -33,8 +37,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/mia-rt/mia/internal/engine"
@@ -125,6 +131,9 @@ type Server struct {
 	// job. Tests use it to hold workers deterministically (queue-full and
 	// deadline-expiry scenarios).
 	gate func()
+	// itemGate, when non-nil, runs on the worker goroutine before each batch
+	// item. Tests use it to cancel batches deterministically mid-stream.
+	itemGate func(i int)
 }
 
 // New builds a Server and starts its worker pool.
@@ -145,6 +154,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/reschedule", s.handleReschedule)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -309,4 +319,48 @@ func (s *Server) writeReply(w http.ResponseWriter, rep reply) {
 // applied.
 func (s *Server) readGraph(r *http.Request) (*model.Graph, error) {
 	return model.ReadJSON(http.MaxBytesReader(nil, r.Body, s.cfg.MaxRequestBytes))
+}
+
+// wireContentType is the media type of binary wire-format graph bodies
+// (internal/wire). Graph-carrying endpoints accept it interchangeably with
+// graph JSON; the binary path compiles without materializing a graph.
+const wireContentType = "application/x-mia-wire"
+
+// isWire reports whether the request body is declared as binary wire format.
+func isWire(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.Index(ct, ";"); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wireContentType
+}
+
+// compileBody compiles a request body into a problem image, dispatching on
+// Content-Type: wire blobs take the zero-graph CompileFromWire fast path,
+// everything else parses as graph JSON. Both paths apply the body size cap
+// and full validation; the ingest counters record which one served each
+// graph-carrying request.
+func (s *Server) compileBody(r *http.Request) (*engine.Image, error) {
+	if isWire(r) {
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxRequestBytes))
+		if err != nil {
+			return nil, err
+		}
+		img, err := engine.CompileFromWire(body, s.cfg.Sched)
+		if err != nil {
+			return nil, err
+		}
+		s.met.ingestWire.Add(1)
+		return img, nil
+	}
+	g, err := s.readGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	img, err := engine.Compile(g, s.cfg.Sched)
+	if err != nil {
+		return nil, err
+	}
+	s.met.ingestJSON.Add(1)
+	return img, nil
 }
