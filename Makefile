@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke serve-load-smoke engine-diff engine-diff-parallel ci clean
+.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke engine-diff engine-diff-parallel ci clean
 
 all: build
 
@@ -100,7 +100,17 @@ serve-smoke:
 serve-load-smoke:
 	$(GO) test -race -tags servesmoke -run TestServeLoadSmoke -v ./cmd/miaload
 
-ci: lint build race fuzz-smoke bench-smoke serve-smoke serve-load-smoke
+# Sharded-tier smoke check: builds miaserve and miarouter (both with -race),
+# boots three single-worker shards with a one-slot admission queue behind a
+# router, and drives miaload through three regimes: steady-state batch
+# traffic (zero errors), saturation (-saturate: overload must shed with 429
+# and a bounded Retry-After in [1, 30] s), and a SIGINT drain of the whole
+# fleet (exit 0 everywhere). Same build tag as serve-smoke so `go test
+# ./...` stays exec-free.
+serve-shard-smoke:
+	$(GO) test -race -tags servesmoke -run TestServeShardSmoke -v ./cmd/miaload
+
+ci: lint build race fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke
 
 clean:
 	$(GO) clean ./...

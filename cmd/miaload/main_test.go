@@ -72,6 +72,72 @@ func TestLoadModes(t *testing.T) {
 	}
 }
 
+// TestQuantile pins the nearest-rank definition at the sample sizes the old
+// int(q·(n−1)) formula underestimated: n = 1 and 2 (p99 must be the max,
+// not the min), the empty sample (0 by convention), and n = 100 anchors.
+func TestQuantile(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		n    int
+		q    float64
+		want float64
+	}{
+		{0, 0.50, 0},
+		{0, 0.99, 0},
+		{1, 0.50, 1},
+		{1, 0.99, 1},
+		{2, 0.50, 1},
+		{2, 0.95, 2}, // old formula returned 1 (the minimum)
+		{2, 0.99, 2},
+		{2, 1.00, 2},
+		{100, 0.50, 50},
+		{100, 0.95, 95},
+		{100, 0.99, 99},
+		{100, 1.00, 100},
+	}
+	for _, tc := range cases {
+		if got := quantile(seq(tc.n), tc.q); got != tc.want {
+			t.Errorf("quantile(n=%d, q=%.2f) = %v, want %v", tc.n, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestLoadShardTargets drives the shard-aware client path end to end: three
+// in-process shards, client-side ring routing with -targets, several graphs
+// spread across the fleet. Every request must land successfully (priming on
+// primary + successor means even a routing disagreement would surface as a
+// 404 error here).
+func TestLoadShardTargets(t *testing.T) {
+	ts1, ts2, ts3 := startServer(t), startServer(t), startServer(t)
+	targets := ts1.URL + "," + ts2.URL + "," + ts3.URL
+	rep := runLoad(t, ts1.URL, "-targets", targets, "-graphs", "3", "-mode", "batch", "-batch", "4")
+	if rep.Errors != 0 {
+		t.Fatalf("report has %d errors", rep.Errors)
+	}
+	if rep.Targets != 3 || rep.Graphs != 3 {
+		t.Errorf("report targets=%d graphs=%d, want 3 and 3", rep.Targets, rep.Graphs)
+	}
+}
+
+// TestLoadFailover: one of two targets is dead from the start; the
+// client-side ring must fail requests over to the surviving shard.
+func TestLoadFailover(t *testing.T) {
+	live := startServer(t)
+	dead := startServer(t)
+	deadURL := dead.URL
+	dead.Close() // connection refused for every request routed here first
+	rep := runLoad(t, live.URL, "-targets", live.URL+","+deadURL, "-graphs", "2")
+	if rep.Errors != 0 {
+		t.Fatalf("failover load reported %d errors", rep.Errors)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-mode", "bogus"}, &out); err == nil {

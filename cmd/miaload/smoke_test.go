@@ -68,7 +68,7 @@ func TestServeLoadSmoke(t *testing.T) {
 
 func waitListening(t *testing.T, out *syncOutput) string {
 	t.Helper()
-	re := regexp.MustCompile(`listening on (http://\S+)`)
+	re := regexp.MustCompile(`listening on (http://[^\s,]+)`)
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		if m := re.FindStringSubmatch(out.String()); m != nil {

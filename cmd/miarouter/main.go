@@ -1,0 +1,117 @@
+// Command miarouter fronts a fleet of miaserve shards. It speaks the same
+// protocol as a single shard — POST /v1/analyze, /v1/reschedule, /v1/batch,
+// GET /healthz, /metrics — so existing clients point at the router instead
+// of a shard and gain placement, replication, and failover without change:
+//
+//   - every request routes by its graph's fingerprint on a consistent-hash
+//     ring with bounded loads, so a graph's warm engine image and batch
+//     memo stay resident on the shard its traffic keeps landing on;
+//   - analyze bodies are replicated to the next ring replica, pinning each
+//     image on a primary plus one successor;
+//   - transient failures (connection errors, 503) retry on the next replica
+//     with jittered backoff, and a shard dying mid-batch fails over: only
+//     the not-yet-streamed items are re-admitted, exactly one trailer is
+//     emitted, and no result line is duplicated or lost.
+//
+// GET /healthz answers 200 while any shard is up, 503 when all are down;
+// GET /metrics reports the router's own counters (forwards, retries,
+// failovers, shed) plus per-target health.
+//
+// Usage:
+//
+//	miarouter -addr :8090 -targets http://s1:8080,http://s2:8080,http://s3:8080
+//	miarouter -addr 127.0.0.1:0 -targets ... -replicas 2 -health 2s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/mia-rt/mia/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "miarouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("miarouter", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address (host:port; port 0 picks a free port)")
+		targets  = fs.String("targets", "", "comma-separated shard base URLs (required)")
+		replicas = fs.Int("replicas", 2, "replica-set size per fingerprint: primary plus replicas-1 successors")
+		retries  = fs.Int("retries", 0, "replica attempts per request (0 = replicas, clamped to fleet size)")
+		backoff  = fs.Duration("backoff", 25*time.Millisecond, "base jittered delay between replica attempts")
+		health   = fs.Duration("health", 2*time.Second, "active health-probe interval (0 = passive health only)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-attempt shard timeout (response-header wait for batches)")
+		drain    = fs.Duration("drain", 15*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, t)
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("-targets is required (comma-separated shard base URLs)")
+	}
+
+	router, err := shard.NewRouter(ctx, shard.Config{
+		Targets:     urls,
+		Replicas:    *replicas,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		HealthEvery: *health,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		router.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: router.Handler()}
+	fmt.Fprintf(stdout, "miarouter: listening on http://%s, fronting %d shards\n", ln.Addr(), len(urls))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		router.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "miarouter: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	router.Close() // joins the health prober
+	if shutdownErr != nil {
+		return fmt.Errorf("drain incomplete after %v: %w", *drain, shutdownErr)
+	}
+	fmt.Fprintln(stdout, "miarouter: clean shutdown")
+	return nil
+}

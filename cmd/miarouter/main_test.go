@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/server"
+)
+
+// syncBuffer is a race-safe io.Writer: run() writes from the test goroutine
+// and the server goroutine while the test polls for the listening line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^\s,]+)`)
+
+func startShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// TestRunRoutesAndDrainsOnCancel drives the router binary's lifecycle in
+// process: boot against two real shards on an ephemeral port, analyze
+// through the router, reschedule by hash, check /healthz and /metrics, then
+// cancel the context (the signal path) and require a clean drain.
+func TestRunRoutesAndDrainsOnCancel(t *testing.T) {
+	s1, s2 := startShard(t), startShard(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-targets", s1.URL + "," + s2.URL,
+			"-health", "0",
+		}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never printed its listening line; output: %q", out.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var graph bytes.Buffer
+	if err := gen.Figure2().WriteJSON(&graph); err != nil {
+		t.Fatalf("serializing graph: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(graph.Bytes()))
+	if err != nil {
+		t.Fatalf("analyze via router: %v", err)
+	}
+	var analyzed struct {
+		Hash string `json:"hash"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&analyzed)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || analyzed.Hash == "" {
+		t.Fatalf("analyze: status %d, hash %q, err %v", resp.StatusCode, analyzed.Hash, err)
+	}
+
+	// By-hash reschedule must resolve wherever the ring placed the image.
+	resp, err = http.Post(base+"/v1/reschedule", "application/json",
+		strings.NewReader(`{"hash":"`+analyzed.Hash+`","swaps":[{"core":2,"pos":0}]}`))
+	if err != nil {
+		t.Fatalf("reschedule via router: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reschedule: status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	cancel() // what SIGINT/SIGTERM does via signal.NotifyContext
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run did not return after cancel; output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "clean shutdown") {
+		t.Errorf("missing clean-shutdown notice in output: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-addr"}, &out); err == nil {
+		t.Error("run with dangling -addr should fail")
+	}
+	if err := run(context.Background(), nil, &out); err == nil {
+		t.Error("run without -targets should fail")
+	}
+}

@@ -1,6 +1,9 @@
 package pool
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Runner is the serving-shaped sibling of MapWith: a fixed set of workers,
 // each owning one long-lived mutable state, consuming tasks from a bounded
@@ -18,8 +21,9 @@ import "sync"
 // its worker and silently shrink capacity, so servers wrap handlers in their
 // own recover.
 type Runner[S any] struct {
-	queue chan func(S)
-	wg    sync.WaitGroup
+	queue     chan func(S)
+	completed atomic.Int64
+	wg        sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
@@ -43,6 +47,7 @@ func NewRunner[S any](states []S, capacity int) *Runner[S] {
 			defer r.wg.Done()
 			for task := range r.queue {
 				task(st)
+				r.completed.Add(1)
 			}
 		}(st)
 	}
@@ -70,6 +75,11 @@ func (r *Runner[S]) TrySubmit(task func(S)) bool {
 
 // Queued returns the number of admitted tasks not yet picked up by a worker.
 func (r *Runner[S]) Queued() int { return len(r.queue) }
+
+// Completed returns the number of admitted tasks that have finished running.
+// With Queued it gives operators the queue's position, not just its depth:
+// after Drain returns, Completed equals the number of tasks ever admitted.
+func (r *Runner[S]) Completed() int64 { return r.completed.Load() }
 
 // Capacity returns the queue capacity.
 func (r *Runner[S]) Capacity() int { return cap(r.queue) }

@@ -86,6 +86,28 @@ func TestRunnerDrainRunsAdmittedTasksAndStopsAdmission(t *testing.T) {
 	r.Drain() // idempotent
 }
 
+// TestRunnerCompletedCounts: Completed tracks finished tasks only — a task
+// still running (or still queued) is not counted, and after Drain the count
+// equals everything ever admitted.
+func TestRunnerCompletedCounts(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunner([]int{0}, 4)
+	if got := r.Completed(); got != 0 {
+		t.Fatalf("fresh runner Completed() = %d, want 0", got)
+	}
+	r.TrySubmit(func(int) { <-gate })
+	r.TrySubmit(func(int) {})
+	r.TrySubmit(func(int) {})
+	if got := r.Completed(); got != 0 {
+		t.Fatalf("Completed() = %d while the first task still blocks, want 0", got)
+	}
+	close(gate)
+	r.Drain()
+	if got := r.Completed(); got != 3 {
+		t.Fatalf("post-drain Completed() = %d, want 3", got)
+	}
+}
+
 func TestRunnerConcurrentSubmitAndDrain(t *testing.T) {
 	r := NewRunner([]int{0, 1, 2, 3}, 16)
 	var admitted, ran atomic.Int64

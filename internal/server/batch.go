@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -202,7 +201,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, hash string
 			s.writeReply(w, reply{status: http.StatusServiceUnavailable, body: errBody("draining")})
 			return
 		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.writeReply(w, reply{status: http.StatusTooManyRequests, body: errBody("queue full")})
 		return
 	}
@@ -228,9 +227,11 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, hash string
 		}
 		write(append(b, '\n'))
 	}
-	// emit writes one result line. Success lines splice the worker-marshaled
-	// result bytes in verbatim — json.Marshal produced them, so re-encoding
-	// the RawMessage would only re-compact already-compact bytes.
+	// emit writes one result line and counts it as completed — the count and
+	// the write can never diverge because they are the same statement.
+	// Success lines splice the worker-marshaled result bytes in verbatim —
+	// json.Marshal produced them, so re-encoding the RawMessage would only
+	// re-compact already-compact bytes.
 	emit := func(line batchLine) {
 		if line.Status == http.StatusOK && len(line.Result) > 0 {
 			b := make([]byte, 0, len(line.Result)+48)
@@ -240,9 +241,39 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, hash string
 			b = append(b, line.Result...)
 			b = append(b, '}', '\n')
 			write(b)
+		} else {
+			writeLine(line)
+		}
+		completed++
+	}
+	// writeTrailer is the single exit of the stream: whatever combination of
+	// client disconnect, deadline expiry, drain, and worker completion races
+	// the loop below into finishing, exactly one trailer is written, and its
+	// truncation reason is chosen by fixed precedence — deadline beats
+	// client-gone beats draining — so the same race always reports the same
+	// reason.
+	trailerSent := false
+	writeTrailer := func() {
+		if trailerSent {
 			return
 		}
-		writeLine(line)
+		trailerSent = true
+		trailer := batchTrailer{Done: true, Items: len(items), Completed: completed,
+			Truncated: completed < len(items)}
+		if trailer.Truncated {
+			switch {
+			case errors.Is(ctx.Err(), context.DeadlineExceeded):
+				trailer.Reason = "deadline exceeded"
+			case ctx.Err() != nil:
+				trailer.Reason = "client gone"
+			case s.draining():
+				trailer.Reason = "draining"
+			default:
+				trailer.Reason = "interrupted"
+			}
+		}
+		writeLine(trailer)
+		flush()
 	}
 
 stream:
@@ -253,7 +284,6 @@ stream:
 				break stream
 			}
 			emit(line)
-			completed++
 			// Coalesced streaming: flush only when no further line is already
 			// waiting, so a fast worker does not force one syscall per line
 			// while a slow one still streams every result as it lands.
@@ -272,7 +302,6 @@ stream:
 						break stream
 					}
 					emit(line)
-					completed++
 				default:
 					break stream
 				}
@@ -280,21 +309,9 @@ stream:
 		}
 	}
 
-	trailer := batchTrailer{Done: true, Items: len(items), Completed: completed,
-		Truncated: completed < len(items)}
-	if trailer.Truncated {
-		switch {
-		case errors.Is(ctx.Err(), context.DeadlineExceeded):
-			trailer.Reason = "deadline exceeded"
-		case ctx.Err() != nil:
-			trailer.Reason = "client gone"
-		default:
-			trailer.Reason = "interrupted"
-		}
-	}
-	writeLine(trailer)
-	flush()
+	writeTrailer()
 	s.met.observeLatency(time.Since(start))
+	s.met.observeCompletion(time.Now())
 }
 
 // toBatchLine converts a unary-shaped reply into its NDJSON line.

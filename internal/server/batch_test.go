@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -256,11 +257,69 @@ func TestBatchQueueFullSheds429(t *testing.T) {
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("batch under full queue: %d, want 429 (%s)", rr.Code, rr.Body.String())
 	}
-	if got := rr.Header().Get("Retry-After"); got != "3" {
-		t.Errorf("Retry-After = %q, want \"3\"", got)
+	// One priming analyze is not enough drain history for a rate estimate,
+	// so the hint is the configured fallback — and always within [1, 30].
+	got := rr.Header().Get("Retry-After")
+	if secs, err := strconv.Atoi(got); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 30]", got)
 	}
 	if shed := s.met.shed.Load(); shed != 1 {
 		t.Errorf("shed counter = %d, want 1", shed)
+	}
+}
+
+// TestBatchCancelDuringDrainSingleTrailer is the double-flush audit's
+// regression harness: a client disconnect and a graceful drain land on the
+// same in-flight batch, and the response must still end with exactly one
+// trailer whose truncation reason is deterministic — the dead request
+// context ("client gone") outranks the drain, whichever order the two
+// signals arrived in.
+func TestBatchCancelDuringDrainSingleTrailer(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	hash := responseHash(t, analyzeGraph(t, s, graphJSON(t, gen.Figure2())))
+
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	s.itemGate = func(i int) {
+		if i == 1 {
+			close(reached)
+			<-release
+		}
+	}
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch",
+		strings.NewReader(fmt.Sprintf(
+			`{"hash":%q,"items":[{"swaps":[]},{"swaps":[]},{"swaps":[]}]}`, hash)))
+	req = req.WithContext(ctx)
+	rr := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(rr, req)
+	}()
+
+	<-reached      // item 0 computed; the worker is held before item 1
+	cancel()       // client disconnects...
+	s.BeginDrain() // ...while the server starts a graceful drain
+	<-done         // handler must still finish without the worker released
+
+	lines, trailer := parseNDJSON(t, rr.Body.Bytes())
+	trailers := 0
+	for _, l := range append(lines, trailer) {
+		if l.Done {
+			trailers++
+		}
+	}
+	if trailers != 1 {
+		t.Fatalf("%d trailer lines in response, want exactly 1:\n%s", trailers, rr.Body.String())
+	}
+	if !trailer.Truncated || trailer.Reason != "client gone" {
+		t.Errorf("trailer = %+v, want truncated with reason \"client gone\" (deterministic precedence over draining)", trailer)
+	}
+	if trailer.Completed != len(lines) {
+		t.Errorf("trailer completed=%d, but %d result lines were written", trailer.Completed, len(lines))
 	}
 }
 

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/sched"
+)
+
+// countingCloser intercepts closeWarmFn to tally closes per analyzer.
+type countingCloser struct {
+	mu     sync.Mutex
+	closes map[engine.Warm]int
+}
+
+func interceptCloses(t *testing.T) *countingCloser {
+	t.Helper()
+	cc := &countingCloser{closes: make(map[engine.Warm]int)}
+	prev := closeWarmFn
+	closeWarmFn = func(w engine.Warm) {
+		cc.mu.Lock()
+		cc.closes[w]++
+		cc.mu.Unlock()
+		prev(w)
+	}
+	t.Cleanup(func() { closeWarmFn = prev })
+	return cc
+}
+
+func (cc *countingCloser) of(w engine.Warm) int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.closes[w]
+}
+
+func compileTestImage(t *testing.T) *engine.Image {
+	t.Helper()
+	img, err := engine.Compile(roundTrip(t, gen.Figure1()), sched.Options{})
+	if err != nil {
+		t.Fatalf("compiling: %v", err)
+	}
+	return img
+}
+
+// TestWarmEntryRefcount pins the eviction/in-use state machine: retiring a
+// held entry must not close it, the final release must, and both retire and
+// release are idempotent about the close.
+func TestWarmEntryRefcount(t *testing.T) {
+	cc := interceptCloses(t)
+	img := compileTestImage(t)
+
+	e := newWarmEntry("a", img)
+	e.acquire()
+	e.retire() // eviction lands while a request holds the analyzer
+	if n := cc.of(e.w); n != 0 {
+		t.Fatalf("analyzer closed %d times while still acquired, want 0", n)
+	}
+	e.retire() // a second retire must stay harmless
+	if n := cc.of(e.w); n != 0 {
+		t.Fatalf("analyzer closed %d times after double retire while acquired, want 0", n)
+	}
+	e.release() // last user gone: now it may close, exactly once
+	if n := cc.of(e.w); n != 1 {
+		t.Fatalf("analyzer closed %d times after final release, want 1", n)
+	}
+	e.retire() // idempotent after close
+	if n := cc.of(e.w); n != 1 {
+		t.Fatalf("analyzer closed %d times after post-close retire, want 1", n)
+	}
+
+	// The idle path unchanged: retire with no holders closes immediately.
+	idle := newWarmEntry("b", img)
+	idle.retire()
+	if n := cc.of(idle.w); n != 1 {
+		t.Fatalf("idle analyzer closed %d times on retire, want 1", n)
+	}
+}
+
+// TestWarmCachePutRetiresDisplaced: LRU eviction and same-hash replacement
+// both route through retire, and a held entry survives its eviction until
+// released.
+func TestWarmCachePutRetiresDisplaced(t *testing.T) {
+	cc := interceptCloses(t)
+	img := compileTestImage(t)
+	c := newWarmCache(1)
+
+	held := newWarmEntry("a", img)
+	held.acquire() // a request is mid-analysis on this entry
+	c.put(held)
+
+	evictor := newWarmEntry("b", img)
+	c.put(evictor) // capacity 1: evicts "a" while it is held
+	if n := cc.of(held.w); n != 0 {
+		t.Fatalf("held entry closed %d times by eviction, want 0 (refs > 0)", n)
+	}
+	held.release()
+	if n := cc.of(held.w); n != 1 {
+		t.Fatalf("held entry closed %d times after release, want 1", n)
+	}
+
+	// Same-hash replacement retires the displaced entry too.
+	repl := newWarmEntry("b", img)
+	c.put(repl)
+	if n := cc.of(evictor.w); n != 1 {
+		t.Fatalf("replaced entry closed %d times, want 1", n)
+	}
+	c.closeAll()
+	if n := cc.of(repl.w); n != 1 {
+		t.Fatalf("entry closed %d times by closeAll, want 1", n)
+	}
+}
+
+// TestEvictionHammer is the -race regression for the eviction-vs-in-flight
+// audit: warm caches of capacity 1 under concurrent analyze, reschedule, and
+// batch traffic over more graphs than fit, so every worker evicts constantly
+// while analyses are in flight. Under -race this fails if an eviction ever
+// frees analyzer state a request is standing on; the close counter must also
+// never exceed one per analyzer.
+func TestEvictionHammer(t *testing.T) {
+	cc := interceptCloses(t)
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 64, WarmCacheSize: 1})
+
+	const graphs = 4
+	type target struct {
+		hash string
+		body []byte
+	}
+	targets := make([]target, graphs)
+	for i := range targets {
+		p := gen.NewParams(1, 64)
+		p.Seed = int64(i + 1)
+		g, err := gen.Layered(p)
+		if err != nil {
+			t.Fatalf("generating graph %d: %v", i, err)
+		}
+		body := graphJSON(t, g)
+		targets[i] = target{hash: responseHash(t, analyzeGraph(t, s, body)), body: body}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				tg := targets[(c+i)%graphs]
+				var rr *httptest.ResponseRecorder
+				switch i % 3 {
+				case 0:
+					rr = do(s, http.MethodPost, "/v1/analyze", bytes.NewReader(tg.body))
+				case 1:
+					rr = do(s, http.MethodPost, "/v1/reschedule",
+						strings.NewReader(fmt.Sprintf(`{"hash":%q,"swaps":[{"core":0,"pos":0},{"core":0,"pos":0}]}`, tg.hash)))
+				default:
+					rr = do(s, http.MethodPost, "/v1/batch",
+						strings.NewReader(fmt.Sprintf(`{"hash":%q,"items":[{"swaps":[]},{"swaps":[{"core":0,"pos":0},{"core":0,"pos":0}]}]}`, tg.hash)))
+				}
+				if rr.Code != http.StatusOK {
+					errs <- fmt.Errorf("client %d request %d: status %d (%s)", c, i, rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for w, n := range cc.closes {
+		if n > 1 {
+			t.Errorf("analyzer %p closed %d times, want at most 1", w, n)
+		}
+	}
+}

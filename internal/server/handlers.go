@@ -103,6 +103,8 @@ func (wk *worker) analyze(ctx context.Context, s *Server, img *engine.Image, has
 		e = newWarmEntry(hash, img)
 		wk.cache.put(e)
 	}
+	e.acquire() // pin across the analysis: a cache eviction cannot close e.w mid-run
+	defer e.release()
 	var res *sched.Result
 	var err error
 	if warm {
@@ -181,6 +183,8 @@ func (wk *worker) whatIf(ctx context.Context, s *Server, hash string, swaps []sw
 		e = newWarmEntry(hash, img)
 		wk.cache.put(e)
 	}
+	e.acquire() // pin across apply-evaluate-undo: eviction cannot close e.w mid-scenario
+	defer e.release()
 	warm := e.w.Warm()
 	cacheNote := "miss"
 	if warm {
@@ -267,7 +271,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.metricsReqs.Add(1)
-	body, err := s.met.snapshot(s.runner.Queued(), s.runner.Capacity(), s.images.len())
+	body, err := s.met.snapshot(s.runner.Queued(), s.runner.Capacity(), s.runner.Completed(), s.images.len())
 	if err != nil {
 		s.writeReply(w, reply{status: http.StatusInternalServerError, body: errBody(err.Error())})
 		return

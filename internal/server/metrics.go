@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,7 +60,24 @@ type metrics struct {
 		next  int
 		total int64
 	}
+
+	// done is the completion-timestamp ring behind drainRate: the shed
+	// path's Retry-After hint is derived from how fast the queue has
+	// actually been draining, so it needs the recent completion times, not
+	// just a count.
+	done struct {
+		mu    sync.Mutex
+		ring  [drainWindow]time.Time
+		next  int
+		total int64
+	}
 }
+
+// drainWindow bounds the completion-timestamp sample behind drainRate.
+// Smaller than latencyWindow on purpose: the Retry-After hint should track
+// the *current* drain speed, and 64 completions of history is seconds of
+// traffic at any load level where shedding happens.
+const drainWindow = 64
 
 func newMetrics() *metrics {
 	return &metrics{start: time.Now()}
@@ -73,6 +91,45 @@ func (m *metrics) observeLatency(d time.Duration) {
 	m.lat.next = (m.lat.next + 1) % latencyWindow
 	m.lat.total++
 	m.lat.mu.Unlock()
+}
+
+// observeCompletion records that one queued unit of work finished at t.
+func (m *metrics) observeCompletion(t time.Time) {
+	m.done.mu.Lock()
+	m.done.ring[m.done.next] = t
+	m.done.next = (m.done.next + 1) % drainWindow
+	m.done.total++
+	m.done.mu.Unlock()
+}
+
+// drainRate estimates the service's recent completion throughput in units
+// per second, measured from the oldest completion in the window to now. It
+// returns 0 when there are fewer than two completions or the window spans no
+// measurable time — callers must treat 0 as "rate unknown", not "infinitely
+// slow".
+func (m *metrics) drainRate(now time.Time) float64 {
+	m.done.mu.Lock()
+	n := int(m.done.total)
+	if n > drainWindow {
+		n = drainWindow
+	}
+	var oldest time.Time
+	if n > 0 {
+		i := m.done.next - n
+		if i < 0 {
+			i += drainWindow
+		}
+		oldest = m.done.ring[i]
+	}
+	m.done.mu.Unlock()
+	if n < 2 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(n) / span
 }
 
 // observeBatchItems records one batch request's scenario count.
@@ -109,6 +166,27 @@ func (m *metrics) countResponse(status int) {
 	}
 }
 
+// nearestRank returns the q-quantile of an already-sorted sample by the
+// nearest-rank definition: the smallest element such that at least q·n of
+// the sample is ≤ it, i.e. index ⌈q·n⌉−1. The previous form int(q·(n−1))
+// truncated instead of rounding up, which underestimates on small samples —
+// p99 of two samples returned the *minimum* — and an empty sample has no
+// quantile, so it reports 0 by convention.
+func nearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
 // quantiles computes p50/p99 over the current latency window.
 func (m *metrics) quantiles() (p50, p99 float64, samples int64) {
 	m.lat.mu.Lock()
@@ -120,15 +198,8 @@ func (m *metrics) quantiles() (p50, p99 float64, samples int64) {
 	copy(window, m.lat.ring[:n])
 	samples = m.lat.total
 	m.lat.mu.Unlock()
-	if n == 0 {
-		return 0, 0, 0
-	}
 	sort.Float64s(window)
-	at := func(q float64) float64 {
-		i := int(q * float64(n-1))
-		return window[i]
-	}
-	return at(0.50), at(0.99), samples
+	return nearestRank(window, 0.50), nearestRank(window, 0.99), samples
 }
 
 // metricsSnapshot is the /metrics response body. Field order is fixed by the
@@ -166,8 +237,9 @@ type metricsSnapshot struct {
 	Shed     int64 `json:"shed"`
 	InFlight int64 `json:"in_flight"`
 	Queue    struct {
-		Depth    int `json:"depth"`
-		Capacity int `json:"capacity"`
+		Depth     int   `json:"depth"`
+		Capacity  int   `json:"capacity"`
+		Completed int64 `json:"completed"`
 	} `json:"queue"`
 	Cache struct {
 		Hits   int64 `json:"hits"`
@@ -181,9 +253,9 @@ type metricsSnapshot struct {
 	} `json:"latency_ms"`
 }
 
-// snapshot assembles the scrape body. queueDepth/queueCap/graphs are passed
-// in by the server, which owns those structures.
-func (m *metrics) snapshot(queueDepth, queueCap, graphs int) ([]byte, error) {
+// snapshot assembles the scrape body. queueDepth/queueCap/completed/graphs
+// are passed in by the server, which owns those structures.
+func (m *metrics) snapshot(queueDepth, queueCap int, completed int64, graphs int) ([]byte, error) {
 	var s metricsSnapshot
 	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Requests.Analyze = m.analyze.Load()
@@ -210,6 +282,7 @@ func (m *metrics) snapshot(queueDepth, queueCap, graphs int) ([]byte, error) {
 	s.InFlight = m.inFlight.Load()
 	s.Queue.Depth = queueDepth
 	s.Queue.Capacity = queueCap
+	s.Queue.Completed = completed
 	s.Cache.Hits = m.cacheHits.Load()
 	s.Cache.Misses = m.cacheMisses.Load()
 	s.Cache.Graphs = graphs

@@ -38,8 +38,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,7 +75,10 @@ type Config struct {
 	// DefaultTimeout is the per-request deadline when the client does not
 	// pass ?timeout_ms= (default 30s).
 	DefaultTimeout time.Duration
-	// RetryAfter is the hint returned with 429 responses (default 1s).
+	// RetryAfter is the fallback hint returned with 429 responses when the
+	// observed drain rate cannot yet estimate one (default 1s). Once the
+	// server has completion history, the hint is derived from queue depth
+	// and drain rate instead — see retryAfterSeconds.
 	RetryAfter time.Duration
 	// MaxRequestBytes bounds request bodies (default 32 MiB).
 	MaxRequestBytes int64
@@ -232,6 +237,35 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), timeout)
 }
 
+// retryAfterSeconds derives a 429 Retry-After hint from the work a shed
+// client is behind: with queued jobs ahead of it draining at rate jobs/sec,
+// the client's turn comes in about (queued+1)/rate seconds. rate <= 0 means
+// the drain rate is unknown (cold server, or no completions yet), and the
+// configured fallback applies. The result is clamped to [1, 30] seconds —
+// never 0 (a "retry immediately" hint under overload is an invitation to
+// hammer), never an hour-long guess from one slow batch skewing the window.
+func retryAfterSeconds(queued int, rate float64, fallback time.Duration) int {
+	var secs float64
+	if rate > 0 {
+		secs = math.Ceil(float64(queued+1) / rate)
+	} else {
+		secs = math.Ceil(fallback.Seconds())
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
+}
+
+// retryAfterHint computes the live Retry-After value for a shed response.
+func (s *Server) retryAfterHint() string {
+	secs := retryAfterSeconds(s.runner.Queued(), s.met.drainRate(time.Now()), s.cfg.RetryAfter)
+	return strconv.Itoa(secs)
+}
+
 // dispatch admits one analysis job onto the worker pool and writes its
 // reply, translating queue pressure into 429, drain into 503, and deadline
 // expiry into 504. job runs on a worker goroutine and must serialize its
@@ -263,7 +297,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, job func(ctx c
 			s.writeReply(w, reply{status: http.StatusServiceUnavailable, body: errBody("draining")})
 			return
 		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.writeReply(w, reply{status: http.StatusTooManyRequests, body: errBody("queue full")})
 		return
 	}
@@ -271,6 +305,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, job func(ctx c
 	select {
 	case rep := <-out:
 		s.met.observeLatency(time.Since(start))
+		s.met.observeCompletion(time.Now())
 		s.writeReply(w, rep)
 	case <-ctx.Done():
 		// The job still runs (it cannot be unqueued) but will observe the
