@@ -4,30 +4,37 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race lint fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke engine-diff engine-diff-parallel ci clean
+.PHONY: all vet build test race lint lint-fixtures fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke engine-diff engine-diff-parallel ci clean
 
 all: build
 
 vet:
 	$(GO) vet ./...
 
-# Static-analysis gate: the domain-specific mialint suite (determinism,
-# hotpathalloc, ctxflow, boundedinput — see internal/lint), go vet, and a
-# gofmt cleanliness check. staticcheck joins in when it is on PATH; the
-# container image does not ship it, so its absence is not a failure.
-# bin/mialint is a real file target so repeated `make lint` reuses the
-# built analyzer when its sources have not changed.
+# Static-analysis gate: the domain-specific mialint suite (all seven
+# analyzers — see internal/lint and the README table), go vet, and a gofmt
+# cleanliness check. staticcheck joins in when it is on PATH; the container
+# image does not ship it, so its absence is not a failure. bin/mialint is a
+# real file target so repeated `make lint` reuses the built analyzer when
+# its sources have not changed; CI caches it on the same source hash.
+# MIALINT_FLAGS feeds extra flags (CI passes -gha for inline annotations).
 MIALINT_SRCS := $(shell find cmd/mialint internal/lint -name '*.go' -not -path '*/testdata/*')
 
 bin/mialint: $(MIALINT_SRCS) go.mod
 	$(GO) build -o $@ ./cmd/mialint
 
 lint: bin/mialint vet
-	./bin/mialint ./...
+	./bin/mialint $(MIALINT_FLAGS) ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 	  echo "gofmt -l flagged:"; echo "$$unformatted"; exit 1; fi
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	  else echo "staticcheck not on PATH; skipped"; fi
+
+# The analyzers' own golden-fixture suites: every testdata module under
+# internal/lint replayed against its `// want` expectations, plus the
+# call-graph and CLI tests. The fast loop while writing an analyzer.
+lint-fixtures:
+	$(GO) test ./internal/lint/... ./cmd/mialint
 
 build:
 	$(GO) build ./...

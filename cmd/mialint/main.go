@@ -1,14 +1,20 @@
 // Command mialint runs the repository's domain-specific static-analysis
-// suite (internal/lint) over a Go module: four analyzers that enforce the
-// determinism, hot-path-allocation, context-flow, and bounded-input
-// invariants the runtime test suites can only check after a regression has
-// landed.
+// suite (internal/lint) over a Go module: seven analyzers that enforce the
+// determinism, hot-path-allocation, context-flow, bounded-input, lock-safety,
+// handler-flow, and goroutine-join invariants the runtime test suites can
+// only check after a regression has landed.
 //
 // Usage:
 //
 //	mialint ./...
 //	mialint -analyzers determinism,ctxflow ./internal/...
 //	mialint -C path/to/module -json ./...
+//	mialint -jobs 8 -gha ./...
+//
+// Analysis parallelizes across packages with -jobs (0 means one worker per
+// CPU); diagnostic output is byte-identical at any worker count. -gha
+// renders diagnostics as GitHub Actions workflow annotations so findings
+// surface inline on the pull-request diff.
 //
 // Exit status is 0 when the tree is clean, 1 when any diagnostic was
 // reported, and 2 when the module could not be loaded or the flags were
@@ -29,6 +35,7 @@ import (
 	"syscall"
 
 	"github.com/mia-rt/mia/internal/lint"
+	"github.com/mia-rt/mia/internal/pool"
 )
 
 func main() {
@@ -44,9 +51,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dir      = fs.String("C", ".", "directory of the module to lint")
 		names    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		asJSON   = fs.Bool("json", false, "emit diagnostics as a JSON array instead of vet-style lines")
+		asGHA    = fs.Bool("gha", false, "emit diagnostics as GitHub Actions ::error annotations")
+		jobs     = fs.Int("jobs", 0, "packages analyzed concurrently (0 = one per CPU, 1 = sequential)")
 		listOnly = fs.Bool("list", false, "list the available analyzers and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asGHA {
+		fmt.Fprintln(stderr, "mialint: -json and -gha are mutually exclusive")
 		return 2
 	}
 
@@ -92,13 +105,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mialint:", err)
 		return 2
 	}
-	diags, err := lint.Run(pkgs, analyzers)
+	diags, err := lint.RunParallel(ctx, pool.Jobs(*jobs), pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "mialint:", err)
 		return 2
 	}
 
-	if *asJSON {
+	switch {
+	case *asGHA:
+		// GitHub Actions workflow-command syntax: message properties are
+		// comma/colon-delimited, so the file path (the only property we emit
+		// that can contain delimiters) is percent-escaped per the runner's
+		// rules; the message itself only needs %, CR, and LF escaped.
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=mialint %s::%s\n",
+				ghaEscapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, ghaEscapeData(d.Message))
+		}
+	case *asJSON:
 		type jsonDiag struct {
 			File     string `json:"file"`
 			Line     int    `json:"line"`
@@ -116,7 +139,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mialint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -126,4 +149,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// ghaEscapeProperty escapes a workflow-command property value (the file
+// path): %, CR, LF, and the property delimiters : and , per the Actions
+// runner's escapeProperty.
+func ghaEscapeProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}
+
+// ghaEscapeData escapes a workflow-command message: %, CR, and LF per the
+// Actions runner's escapeData, so multi-line messages stay one annotation.
+func ghaEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }

@@ -33,7 +33,7 @@ func TestDirtyModuleExitsOne(t *testing.T) {
 	}
 	for _, wantFrag := range []string{
 		"ctxflow: context.Background in a library package",
-		"ctxflow: goroutine has no visible join",
+		"goroleak: goroutine has no visible join",
 	} {
 		if !strings.Contains(stdout, wantFrag) {
 			t.Errorf("stdout missing %q:\n%s", wantFrag, stdout)
@@ -72,15 +72,54 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
 	}
 	for _, d := range diags {
-		if d.Analyzer != "ctxflow" || d.File == "" || d.Line == 0 || d.Message == "" {
+		if (d.Analyzer != "ctxflow" && d.Analyzer != "goroleak") || d.File == "" || d.Line == 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic: %+v", d)
 		}
 	}
 }
 
+func TestGHAOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", "testdata/dirty", "-gha", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("line is not a workflow annotation: %q", line)
+		}
+	}
+	for _, wantFrag := range []string{"title=mialint ctxflow::", "title=mialint goroleak::", ",line=", ",col="} {
+		if !strings.Contains(stdout, wantFrag) {
+			t.Errorf("-gha output missing %q:\n%s", wantFrag, stdout)
+		}
+	}
+}
+
+func TestJSONAndGHAExclusive(t *testing.T) {
+	code, _, stderr := runCLI(t, "-C", "testdata/dirty", "-json", "-gha", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr missing exclusivity hint:\n%s", stderr)
+	}
+}
+
+func TestJobsOutputByteIdentical(t *testing.T) {
+	_, sequential, _ := runCLI(t, "-C", "testdata/dirty", "-jobs", "1", "./...")
+	if sequential == "" {
+		t.Fatal("sequential run produced no diagnostics to compare")
+	}
+	for _, jobs := range []string{"2", "4", "8"} {
+		if _, parallel, _ := runCLI(t, "-C", "testdata/dirty", "-jobs", jobs, "./..."); parallel != sequential {
+			t.Errorf("-jobs %s output differs from sequential:\n--- jobs=1\n%s\n--- jobs=%s\n%s", jobs, sequential, jobs, parallel)
+		}
+	}
+}
+
 func TestAnalyzerSubset(t *testing.T) {
-	// The dirty fixture's violations are all ctxflow; restricting the run to
-	// determinism must make it clean.
+	// The dirty fixture's violations are ctxflow and goroleak; restricting
+	// the run to determinism must make it clean.
 	code, stdout, stderr := runCLI(t, "-C", "testdata/dirty", "-analyzers", "determinism", "./...")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
@@ -102,7 +141,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"boundedinput", "ctxflow", "determinism", "hotpathalloc"} {
+	for _, name := range []string{"boundedinput", "ctxflow", "determinism", "goroleak", "handlerflow", "hotpathalloc", "locksafe"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
 		}

@@ -1,5 +1,5 @@
-// Package lib carries exactly two violations, one per analyzer the CLI
-// test selects, so exit-code and diagnostic-count assertions stay stable.
+// Package lib carries exactly two violations, one ctxflow and one goroleak,
+// so exit-code and diagnostic-count assertions stay stable.
 package lib
 
 import "context"
@@ -9,7 +9,7 @@ func Detach() context.Context {
 	return context.Background()
 }
 
-// Leak launches a join-less goroutine (ctxflow).
+// Leak launches a join-less goroutine (goroleak).
 func Leak(f func()) {
 	go f()
 }

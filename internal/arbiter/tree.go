@@ -75,15 +75,14 @@ func (t *TreeRR) capacity() int {
 	return c
 }
 
-// digits expands a leaf port into its per-stage subtree indices under the
-// Levels mixed radix.
-func (t *TreeRR) digits(port int) []int {
-	out := make([]int, len(t.Levels))
+// digitsInto expands a leaf port into its per-stage subtree indices under
+// the Levels mixed radix, writing into the caller's scratch buffer so the
+// per-competitor loop in Bound stays allocation-free.
+func (t *TreeRR) digitsInto(out []int, port int) {
 	for i, l := range t.Levels {
 		out[i] = port % l
 		port /= l
 	}
-	return out
 }
 
 // Bound implements Arbiter. Each competitor is charged at the first
@@ -106,9 +105,14 @@ func (t *TreeRR) Bound(dst Request, competitors []Request, _ model.BankID) model
 	}
 	cap := t.capacity()
 	dstPort := int(dst.Core) % cap
-	dstDigits := t.digits(dstPort)
+	//mialint:ignore hotpathalloc -- per-call scratch sized by tree depth; Bound must stay stateless because the parallel kernel calls it from every partition concurrently
+	dstDigits := make([]int, len(t.Levels))
+	t.digitsInto(dstDigits, dstPort)
+	//mialint:ignore hotpathalloc -- per-call scratch reused across the competitor loop
+	cDigits := make([]int, len(t.Levels))
 	var slots model.Accesses
 	type groupKey struct{ stage, subtree int }
+	//mialint:ignore hotpathalloc -- per-call scratch sized by tree fan-out; Bound must stay stateless because the parallel kernel calls it from every partition concurrently
 	groups := make(map[groupKey]model.Accesses)
 	for _, c := range competitors {
 		port := int(c.Core) % cap
@@ -121,10 +125,10 @@ func (t *TreeRR) Bound(dst Request, competitors []Request, _ model.BankID) model
 		// The competitor's traffic meets the destination's at the highest
 		// stage where their paths differ (below it they are in disjoint
 		// subtrees, above it they share every arbiter).
-		digits := t.digits(port)
-		for s := len(digits) - 1; s >= 0; s-- {
-			if digits[s] != dstDigits[s] {
-				groups[groupKey{stage: s, subtree: digits[s]}] += c.Demand
+		t.digitsInto(cDigits, port)
+		for s := len(cDigits) - 1; s >= 0; s-- {
+			if cDigits[s] != dstDigits[s] {
+				groups[groupKey{stage: s, subtree: cDigits[s]}] += c.Demand
 				break
 			}
 		}

@@ -257,6 +257,7 @@ func (img *Image) FingerprintOrders(o *Orders) string {
 // hot path proper: the once-guard's fast path is a single atomic load and
 // its closure does not escape, so steady-state calls stay allocation-free.
 func (img *Image) orderHasher() *model.OrderHasher {
+	//mialint:ignore hotpathalloc -- once-guard: the fast path is one atomic load and the non-escaping closure runs at most once per image
 	img.ohOnce.Do(func() {
 		if img.raw != nil {
 			img.oh = img.raw.OrderHasher()

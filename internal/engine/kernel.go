@@ -64,6 +64,7 @@ func (k *Kernel) SetTask(fn func(part int)) { k.task = fn }
 func (k *Kernel) spawn() {
 	k.wg.Add(k.parts - 1)
 	for p := 1; p < k.parts; p++ {
+		//mialint:ignore hotpathalloc -- workers spawn once per kernel lifecycle, not per Run; steady state reuses the parked goroutines
 		go func(p int) {
 			defer k.wg.Done()
 			for {

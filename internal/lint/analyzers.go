@@ -2,7 +2,7 @@ package lint
 
 // All returns the full mialint analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{BoundedInput, CtxFlow, Determinism, HotPathAlloc}
+	return []*Analyzer{BoundedInput, CtxFlow, Determinism, GoRoLeak, HandlerFlow, HotPathAlloc, LockSafe}
 }
 
 // ByName resolves a subset of All by analyzer name; unknown names return

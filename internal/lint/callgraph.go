@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call site was resolved to its callee.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call of a named function or a method on a
+	// concrete receiver: the callee is exact.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through an interface method: the callee is one
+	// of the in-scope concrete implementations (one edge per candidate).
+	EdgeInterface
+	// EdgeDynamic is a call of a function-typed value (field, variable,
+	// parameter): the callee is one of the address-taken functions whose
+	// signature matches (one edge per candidate).
+	EdgeDynamic
+)
+
+// CallEdge is one resolved (site, callee) pair. A single syntactic call site
+// produces several edges when resolution is conservative (interface and
+// dynamic calls).
+type CallEdge struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+	Kind   EdgeKind
+}
+
+// CallNode is one declared function or method of the loaded module, with its
+// outgoing calls in deterministic order: source order of the sites, and for
+// multi-target sites, declaration order of the candidates.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls lists every resolved outgoing edge, including calls made inside
+	// function literals nested in the body (an over-approximation: the
+	// literal may never run, but reachability analyses must assume it can).
+	Calls []CallEdge
+}
+
+// CallGraph is a conservative over-approximation of the module's call
+// structure, built purely from go/types information over the already-loaded
+// packages — no SSA, no pointer analysis. Static calls resolve exactly;
+// interface calls fan out to every in-scope implementation; calls of
+// function-typed values fan out to every address-taken function with an
+// identical signature. Soundness stance: an edge that cannot happen at
+// runtime is acceptable, a missing edge is not — the analyses built on top
+// (transitive hotpathalloc, goroleak) over-report and rely on the
+// //mialint:ignore escape hatch, never under-report.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+}
+
+// Node returns the graph node for fn, or nil when fn has no declaration in
+// the loaded packages (stdlib, interface methods, funcs of other modules).
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	return g.nodes[fn]
+}
+
+// BuildCallGraph constructs the call graph over every loaded package.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	b := &graphBuilder{
+		graph:         &CallGraph{nodes: make(map[*types.Func]*CallNode)},
+		methodsByName: make(map[string][]*types.Func),
+	}
+	// Pass 1: index every declared function and method, the concrete-method
+	// name index (interface resolution), and the address-taken set (dynamic
+	// resolution).
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.graph.nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					b.methodsByName[fn.Name()] = append(b.methodsByName[fn.Name()], fn)
+				}
+			}
+		}
+		b.collectAddressTaken(pkg)
+	}
+	sortFuncs(b.addressTaken)
+	for _, fns := range b.methodsByName {
+		sortFuncs(fns)
+	}
+	// Pass 2: resolve every call site inside every indexed body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := b.graph.nodes[fn]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					node.Calls = append(node.Calls, b.resolve(pkg, call)...)
+					return true
+				})
+			}
+		}
+	}
+	return b.graph
+}
+
+type graphBuilder struct {
+	graph         *CallGraph
+	methodsByName map[string][]*types.Func // concrete methods declared in the module
+	addressTaken  []*types.Func            // functions referenced as values
+}
+
+// sortFuncs orders candidate lists by declaration position so multi-target
+// edges are emitted deterministically.
+func sortFuncs(fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].Pos() != fns[j].Pos() {
+			return fns[i].Pos() < fns[j].Pos()
+		}
+		return fns[i].FullName() < fns[j].FullName()
+	})
+}
+
+// collectAddressTaken records every function or method referenced outside
+// call position — assigned to a variable or field, passed as an argument,
+// returned — since those are the possible targets of dynamic calls.
+func (b *graphBuilder) collectAddressTaken(pkg *Package) {
+	// Identifiers that are the operator of a call are plain invocations, not
+	// value references; collect them first to exclude them.
+	callFun := make(map[*ast.Ident]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callFun[fun] = true
+			case *ast.SelectorExpr:
+				callFun[fun.Sel] = true
+			}
+			return true
+		})
+	}
+	seen := make(map[*types.Func]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callFun[id] {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && !seen[fn] {
+				seen[fn] = true
+				b.addressTaken = append(b.addressTaken, fn)
+			}
+			return true
+		})
+	}
+}
+
+// resolve maps one call expression to its conservative callee set.
+func (b *graphBuilder) resolve(pkg *Package, call *ast.CallExpr) []CallEdge {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return []CallEdge{{Site: call, Callee: obj, Kind: EdgeStatic}}
+		case *types.Builtin:
+			return nil
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if iface := interfaceRecv(obj); iface != nil {
+				return b.resolveInterface(call, obj.Name(), iface)
+			}
+			return []CallEdge{{Site: call, Callee: obj, Kind: EdgeStatic}}
+		}
+	}
+	// Not a named callee: a conversion, or a call of a function-typed value.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return nil // conversion
+		}
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return b.resolveDynamic(call, sig)
+		}
+	}
+	return nil
+}
+
+// interfaceRecv returns the interface type a method is declared on, or nil
+// for concrete methods and package-level functions.
+func interfaceRecv(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// resolveInterface fans an interface method call out to every in-scope
+// concrete method of the same name whose receiver type implements the
+// interface.
+func (b *graphBuilder) resolveInterface(call *ast.CallExpr, name string, iface *types.Interface) []CallEdge {
+	var edges []CallEdge
+	for _, cand := range b.methodsByName[name] {
+		recv := cand.Type().(*types.Signature).Recv().Type()
+		// The method set of *T includes T's methods, so checking the pointer
+		// type covers both value and pointer receivers.
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(derefType(recv)), iface) {
+			edges = append(edges, CallEdge{Site: call, Callee: cand, Kind: EdgeInterface})
+		}
+	}
+	return edges
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// resolveDynamic fans a call of a function-typed value out to every
+// address-taken function with an identical signature (receivers excluded,
+// matching how method values lose their receiver when taken as values).
+func (b *graphBuilder) resolveDynamic(call *ast.CallExpr, sig *types.Signature) []CallEdge {
+	var edges []CallEdge
+	for _, cand := range b.addressTaken {
+		csig, ok := cand.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if csig.Recv() != nil {
+			// Compare the receiver-stripped method-value shape.
+			csig = types.NewSignatureType(nil, nil, nil, csig.Params(), csig.Results(), csig.Variadic())
+		}
+		if types.Identical(stripRecv(sig), csig) {
+			edges = append(edges, CallEdge{Site: call, Callee: cand, Kind: EdgeDynamic})
+		}
+	}
+	return edges
+}
+
+func stripRecv(sig *types.Signature) *types.Signature {
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// loadCallGraphFixture loads testdata/callgraph once per test binary.
+func loadCallGraphFixture(t *testing.T) (*CallGraph, []*Package) {
+	t.Helper()
+	dir, err := filepath.Abs("testdata/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	return BuildCallGraph(pkgs), pkgs
+}
+
+// lookupFunc finds a package-level function or a method ("Type.Method") in
+// the fixture packages.
+func lookupFunc(t *testing.T, pkgs []*Package, pkgName, name string) *types.Func {
+	t.Helper()
+	for _, pkg := range pkgs {
+		if pkg.Name != pkgName {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		if tn, method, ok := splitMethod(name); ok {
+			obj := scope.Lookup(tn)
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Name() == method {
+					return m
+				}
+			}
+			continue
+		}
+		if fn, ok := scope.Lookup(name).(*types.Func); ok {
+			return fn
+		}
+	}
+	t.Fatalf("fixture function %s.%s not found", pkgName, name)
+	return nil
+}
+
+func splitMethod(name string) (typeName, method string, ok bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// callees renders a node's outgoing edges as "Kind:FullName" strings, sorted.
+func callees(g *CallGraph, fn *types.Func) []string {
+	node := g.Node(fn)
+	if node == nil {
+		return nil
+	}
+	var out []string
+	for _, e := range node.Calls {
+		kind := map[EdgeKind]string{EdgeStatic: "static", EdgeInterface: "iface", EdgeDynamic: "dyn"}[e.Kind]
+		out = append(out, fmt.Sprintf("%s:%s", kind, e.Callee.FullName()))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertEdges(t *testing.T, g *CallGraph, fn *types.Func, want []string) {
+	t.Helper()
+	got := callees(g, fn)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: edges = %v, want %v", fn.FullName(), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: edges = %v, want %v", fn.FullName(), got, want)
+		}
+	}
+}
+
+func TestCallGraphStaticAndCrossPackage(t *testing.T) {
+	g, pkgs := loadCallGraphFixture(t)
+	a := lookupFunc(t, pkgs, "cg", "A")
+	assertEdges(t, g, a, []string{
+		"static:example.com/cg.B",
+		"static:example.com/cg/sub.Helper",
+	})
+	// The cross-package callee has its own node with its own edges: the graph
+	// is module-wide, not per-package.
+	helper := lookupFunc(t, pkgs, "sub", "Helper")
+	assertEdges(t, g, helper, []string{"static:example.com/cg/sub.leaf"})
+}
+
+func TestCallGraphRecursionCycles(t *testing.T) {
+	g, pkgs := loadCallGraphFixture(t)
+	rec := lookupFunc(t, pkgs, "cg", "Rec")
+	assertEdges(t, g, rec, []string{"static:example.com/cg.Rec"})
+
+	ping := lookupFunc(t, pkgs, "cg", "Ping")
+	pong := lookupFunc(t, pkgs, "cg", "Pong")
+	assertEdges(t, g, ping, []string{"static:example.com/cg.Pong"})
+	assertEdges(t, g, pong, []string{"static:example.com/cg.Ping"})
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g, pkgs := loadCallGraphFixture(t)
+	dispatch := lookupFunc(t, pkgs, "cg", "Dispatch")
+	// w.Work() fans out to both implementations — value and pointer receiver —
+	// but not to NotWorker.Work, whose signature differs.
+	assertEdges(t, g, dispatch, []string{
+		"iface:(*example.com/cg.Slow).Work",
+		"iface:(example.com/cg.Fast).Work",
+	})
+}
+
+func TestCallGraphMethodValueAndFuncValue(t *testing.T) {
+	g, pkgs := loadCallGraphFixture(t)
+
+	// f := s.Work; f() — the call of the function-typed local fans out to
+	// every address-taken func() in the module: the method value itself and
+	// NamedFn (taken in CallApply). Over-approximation is the contract.
+	umv := lookupFunc(t, pkgs, "cg", "UseMethodValue")
+	assertEdges(t, g, umv, []string{
+		"dyn:(*example.com/cg.Slow).Work",
+		"dyn:example.com/cg.NamedFn",
+	})
+
+	// Apply's parameter call resolves to the same dynamic candidate set.
+	apply := lookupFunc(t, pkgs, "cg", "Apply")
+	assertEdges(t, g, apply, []string{
+		"dyn:(*example.com/cg.Slow).Work",
+		"dyn:example.com/cg.NamedFn",
+	})
+
+	// CallApply's own call of Apply stays a precise static edge.
+	callApply := lookupFunc(t, pkgs, "cg", "CallApply")
+	assertEdges(t, g, callApply, []string{"static:example.com/cg.Apply"})
+}
+
+func TestCallGraphNodeForUndeclared(t *testing.T) {
+	g, pkgs := loadCallGraphFixture(t)
+	// Interface methods have no body and therefore no node.
+	worker := lookupFunc(t, pkgs, "cg", "Dispatch")
+	node := g.Node(worker)
+	if node == nil {
+		t.Fatal("Dispatch should have a node")
+	}
+	for _, e := range node.Calls {
+		if e.Kind != EdgeInterface {
+			t.Fatalf("Dispatch edge kind = %v, want interface", e.Kind)
+		}
+	}
+}

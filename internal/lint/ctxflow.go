@@ -7,8 +7,9 @@ import (
 
 // CtxFlow guards the cancellation contract the PR-3 sweep established by
 // hand: every CLI and server path tears down promptly on SIGINT/SIGTERM
-// because context flows from main() to the leaf that blocks. Three rules
-// keep it that way:
+// because context flows from main() to the leaf that blocks. Two rules
+// keep it that way (the goroutine-join rule that used to live here
+// graduated into the call-graph-backed goroleak analyzer):
 //
 //  1. context.Background()/context.TODO() are banned outside package main:
 //     a library that invents its own root context silently detaches its
@@ -16,13 +17,9 @@ import (
 //     class that made canceled sweeps report success.
 //  2. A function that takes a context.Context must take it as the first
 //     parameter, so call sites and wrappers stay mechanical.
-//  3. A `go` statement whose goroutine is not visibly joined — no
-//     sync.WaitGroup bracket, no channel send/close from the goroutine —
-//     is flagged as a potential leak; the serving layers assert goroutine
-//     counts in tests, and an unjoined goroutine defeats those checks.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "enforce context-first signatures, ban context.Background/TODO outside main, flag join-less goroutines",
+	Doc:  "enforce context-first signatures, ban context.Background/TODO outside main",
 	Run:  runCtxFlow,
 }
 
@@ -45,10 +42,6 @@ func runCtxFlow(p *Pass) error {
 			checkCtxPosition(p, n.Type, n.Name.Name)
 		case *ast.FuncLit:
 			checkCtxPosition(p, n.Type, "func literal")
-		case *ast.GoStmt:
-			if !isMain && !visiblyJoined(p, n) {
-				p.Reportf(n.Pos(), "goroutine has no visible join (no WaitGroup Add/Done bracket, no channel send or close); a leak here survives shutdown drains — join it or justify with //mialint:ignore ctxflow -- <who waits for it>")
-			}
 		}
 		return true
 	})
@@ -81,44 +74,4 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
-}
-
-// visiblyJoined applies a syntactic join heuristic to a go statement: the
-// goroutine counts as joined when its body (for function literals) sends on
-// or closes a channel or calls a WaitGroup/errgroup Done/Do, or when the
-// enclosing file brackets goroutines with WaitGroup Add/Wait. The analyzer
-// only needs to separate the deliberate worker-pool pattern from the
-// fire-and-forget `go f()` that leaks; the escape hatch covers the rest.
-func visiblyJoined(p *Pass, g *ast.GoStmt) bool {
-	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
-	if !ok {
-		// `go method()` with no literal body to inspect: require an ignore
-		// to document the join, except for the bound-method worker idiom
-		// where the callee is in the same package and can be audited by the
-		// analyzer run itself — keep it simple and treat named locals as
-		// unjoined.
-		return false
-	}
-	joined := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SendStmt:
-			joined = true
-		case *ast.CallExpr:
-			switch fun := ast.Unparen(n.Fun).(type) {
-			case *ast.Ident:
-				if fun.Name == "close" {
-					if _, isBuiltinClose := p.Pkg.Info.Uses[fun].(*types.Builtin); isBuiltinClose {
-						joined = true
-					}
-				}
-			case *ast.SelectorExpr:
-				if fun.Sel.Name == "Done" {
-					joined = true
-				}
-			}
-		}
-		return !joined
-	})
-	return joined
 }

@@ -17,6 +17,10 @@ var coreScopes = []string{
 	"internal/rta",
 	"internal/engine",
 	"internal/wire",
+	// The shard ring places members on the hash circle; DESIGN §3.9 requires
+	// point placement to stay a pure function of the member list, or two
+	// routers disagree about ownership mid-failover.
+	"internal/shard",
 }
 
 // inAnalysisCore reports whether a package path belongs to the

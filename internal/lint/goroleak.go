@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoRoLeak flags `go` statements whose goroutine is not visibly joined.
+// The serving layers assert goroutine counts in tests and drain workers on
+// shutdown; a fire-and-forget goroutine defeats both, and leaks by the
+// thousands under churn. Join evidence is a channel send, a channel close,
+// or a Done() call (WaitGroup/errgroup) — found either directly in the
+// spawned body or, through the call graph, anywhere in the module functions
+// that body (or a named `go f()` / `go x.m()` target) statically calls.
+// That last part is what graduated this check out of ctxflow's literal-only
+// heuristic: `go s.worker()` is now audited by reading worker's body
+// instead of demanding an ignore at every spawn site.
+var GoRoLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every spawned goroutine must be visibly joined (WaitGroup, channel send/close)",
+	Run:  runGoRoLeak,
+}
+
+func runGoRoLeak(p *Pass) error {
+	c := &grlChecker{pass: p, joins: make(map[*types.Func]joinResult)}
+	p.inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !c.joined(g) {
+			p.Reportf(g.Pos(), "goroutine has no visible join (no WaitGroup Add/Done bracket, no channel send or close, in the body or its callees); a leak here survives shutdown drains — join it or justify with //mialint:ignore goroleak -- <who waits for it>")
+		}
+		return true
+	})
+	return nil
+}
+
+type joinResult int
+
+const (
+	joinUnknown joinResult = iota
+	joinComputing
+	joinYes
+	joinNo
+)
+
+type grlChecker struct {
+	pass  *Pass
+	joins map[*types.Func]joinResult
+}
+
+// joined decides one go statement. Function literals are scanned directly
+// (plus their static callees); named targets are resolved and their bodies
+// scanned the same way.
+func (c *grlChecker) joined(g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if syntacticJoin(c.pass.Pkg, lit.Body) {
+			return true
+		}
+		return c.calleesJoin(c.pass.Pkg, lit.Body)
+	}
+	fn := c.pass.calleeFunc(g.Call)
+	if fn == nil {
+		return false // dynamic target: nothing to audit, demand a justification
+	}
+	return c.fnJoins(fn)
+}
+
+// fnJoins reports whether fn's body (or, transitively, a static callee's)
+// carries join evidence. Cycles resolve to "no evidence" — under-claiming a
+// join can at worst demand one extra justification, never hide a leak.
+func (c *grlChecker) fnJoins(fn *types.Func) bool {
+	switch c.joins[fn] {
+	case joinYes:
+		return true
+	case joinNo, joinComputing:
+		return false
+	}
+	node := c.pass.Graph.Node(fn)
+	if node == nil {
+		return false
+	}
+	c.joins[fn] = joinComputing
+	ok := syntacticJoin(node.Pkg, node.Decl.Body) || c.calleesJoin(node.Pkg, node.Decl.Body)
+	if ok {
+		c.joins[fn] = joinYes
+	} else {
+		c.joins[fn] = joinNo
+	}
+	return ok
+}
+
+// calleesJoin resolves the static calls inside body and asks each module
+// callee for join evidence.
+func (c *grlChecker) calleesJoin(pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFuncIn(pkg.Info, call); fn != nil && c.fnJoins(fn) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// syntacticJoin scans one body for direct join evidence: a channel send, a
+// builtin close, or a Done() call.
+func syntacticJoin(pkg *Package, body ast.Node) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltinClose := pkg.Info.Uses[fun].(*types.Builtin); isBuiltinClose {
+						joined = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					joined = true
+				}
+			}
+		}
+		return !joined
+	})
+	return joined
+}

@@ -1,0 +1,520 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// handlerFlowScopes are the package-path fragments whose HTTP handlers must
+// write exactly one status. Fragment matching (not exact paths) lets the
+// fixture module reproduce the layout under its own module path.
+var handlerFlowScopes = []string{"internal/server", "internal/shard"}
+
+// HandlerFlow checks that every HTTP handler in the serving tier writes
+// exactly one response status on every path. Zero writes leave the client
+// with net/http's silent implicit 200 on an empty body; two writes surface
+// only as a runtime "superfluous WriteHeader" log line after the wrong
+// status already left the socket. The analysis counts status commits as an
+// interval [lo, hi] per path — WriteHeader and the net/http reply helpers
+// (Error, NotFound, Redirect, ServeFile, ServeContent) commit explicitly, a
+// first body write commits an implicit 200 — and follows calls into module
+// helpers and local closures via memoized summaries, so the funnel pattern
+// (every handler exits through one writeReply) is understood rather than
+// flagged. Reports are definite-only: a second commit is reported when the
+// path has certainly committed before (lo >= 1), a missing one when no
+// commit can have happened (hi == 0), so merge-heavy handlers stay quiet.
+var HandlerFlow = &Analyzer{
+	Name: "handlerflow",
+	Doc:  "HTTP handlers in the serving tier must write exactly one response status per path",
+	Run:  runHandlerFlow,
+}
+
+func runHandlerFlow(p *Pass) error {
+	inScope := false
+	for _, s := range handlerFlowScopes {
+		if strings.Contains(p.Pkg.PkgPath, s) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	c := &hfChecker{
+		pass:       p,
+		summaries:  make(map[*types.Func]hfSummary),
+		inProgress: make(map[*types.Func]bool),
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isHandlerSig(p.Pkg.Info, fd.Type) {
+				c.checkHandler(p.Pkg, fd.Body)
+				continue
+			}
+			// Handler literals registered inline: mux.HandleFunc("/x",
+			// func(w http.ResponseWriter, r *http.Request) { ... })
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if ok && isHandlerSig(p.Pkg.Info, lit.Type) {
+					c.checkHandler(p.Pkg, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHandlerSig matches the http.HandlerFunc shape:
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil || ft.Params.NumFields() != 2 {
+		return false
+	}
+	var flat []ast.Expr
+	for _, f := range ft.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flat = append(flat, f.Type)
+		}
+	}
+	if len(flat) != 2 {
+		return false
+	}
+	if !isResponseWriter(info.TypeOf(flat[0])) {
+		return false
+	}
+	ptr, ok := info.TypeOf(flat[1]).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNetHTTPNamed(ptr.Elem(), "Request")
+}
+
+func isResponseWriter(t types.Type) bool {
+	return isNetHTTPNamed(t, "ResponseWriter")
+}
+
+func isNetHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// hfSummary is the status-commit interval of one function: across all its
+// exit paths, it commits at least lo and at most hi statuses to the response
+// writers it can reach.
+type hfSummary struct{ lo, hi int }
+
+type hfChecker struct {
+	pass       *Pass
+	summaries  map[*types.Func]hfSummary
+	inProgress map[*types.Func]bool
+}
+
+// checkHandler runs the interval walk over one handler body with reporting
+// on.
+func (c *hfChecker) checkHandler(pkg *Package, body *ast.BlockStmt) {
+	w := &hfWalker{c: c, pkg: pkg, report: true, locals: map[types.Object]*ast.FuncLit{}}
+	w.bindLocalClosures(body)
+	st := &hfState{}
+	if terminated := w.walkStmts(body.List, st); !terminated {
+		w.exit(body.Rbrace, st)
+	}
+}
+
+// summarize computes (memoized, cycle-safe) the commit interval of a module
+// function. Recursion falls back to {0,0} — under-counting a cycle can at
+// worst silence a report, never invent one.
+func (c *hfChecker) summarize(fn *types.Func) hfSummary {
+	if s, ok := c.summaries[fn]; ok {
+		return s
+	}
+	if c.inProgress[fn] {
+		return hfSummary{}
+	}
+	node := c.pass.Graph.Node(fn)
+	if node == nil {
+		return hfSummary{}
+	}
+	c.inProgress[fn] = true
+	w := &hfWalker{c: c, pkg: node.Pkg, locals: map[types.Object]*ast.FuncLit{}}
+	sm := w.run(node.Decl.Body)
+	delete(c.inProgress, fn)
+	c.summaries[fn] = sm
+	return sm
+}
+
+// summarizeLit computes the commit interval of a local closure body.
+func (c *hfChecker) summarizeLit(pkg *Package, lit *ast.FuncLit) hfSummary {
+	w := &hfWalker{c: c, pkg: pkg, locals: map[types.Object]*ast.FuncLit{}}
+	return w.run(lit.Body)
+}
+
+// hfState is the per-path interval of committed statuses, capped at 2 (past
+// two, more writes add no information).
+type hfState struct{ lo, hi int }
+
+func cap2(n int) int {
+	if n > 2 {
+		return 2
+	}
+	return n
+}
+
+func (s *hfState) clone() *hfState { c := *s; return &c }
+
+func mergeHF(a, b *hfState) *hfState {
+	lo := a.lo
+	if b.lo < lo {
+		lo = b.lo
+	}
+	hi := a.hi
+	if b.hi > hi {
+		hi = b.hi
+	}
+	return &hfState{lo: lo, hi: hi}
+}
+
+type hfWalker struct {
+	c      *hfChecker
+	pkg    *Package
+	report bool
+	locals map[types.Object]*ast.FuncLit
+	exits  []hfState
+}
+
+// run walks a body reporting nothing and returns its merged exit interval.
+func (w *hfWalker) run(body *ast.BlockStmt) hfSummary {
+	w.bindLocalClosures(body)
+	st := &hfState{}
+	if terminated := w.walkStmts(body.List, st); !terminated {
+		w.exits = append(w.exits, *st)
+	}
+	if len(w.exits) == 0 {
+		return hfSummary{}
+	}
+	sm := hfSummary{lo: w.exits[0].lo, hi: w.exits[0].hi}
+	for _, e := range w.exits[1:] {
+		if e.lo < sm.lo {
+			sm.lo = e.lo
+		}
+		if e.hi > sm.hi {
+			sm.hi = e.hi
+		}
+	}
+	return sm
+}
+
+// bindLocalClosures records `name := func(...) {...}` bindings so calls of
+// name resolve to the literal's summary (the streamBatch writeTrailer
+// pattern).
+func (w *hfWalker) bindLocalClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := w.pkg.Info.Defs[id]; obj != nil {
+				w.locals[obj] = lit
+			} else if obj := w.pkg.Info.Uses[id]; obj != nil {
+				w.locals[obj] = lit
+			}
+		}
+		return true
+	})
+}
+
+// exit records a path leaving the handler and reports the zero-status case.
+func (w *hfWalker) exit(pos token.Pos, st *hfState) {
+	w.exits = append(w.exits, *st)
+	if w.report && st.hi == 0 {
+		w.c.pass.Reportf(pos, "handler path writes no response status; every path must reply exactly once")
+	}
+}
+
+func (w *hfWalker) walkStmts(stmts []ast.Stmt, st *hfState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *hfWalker) walkStmt(s ast.Stmt, st *hfState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, st)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, st)
+		w.scanExpr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, st)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred reply runs on every path from here on; model it as an
+		// immediate commit so the funnel `defer writeReply(...)` is seen.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			sm := w.c.summarizeLit(w.pkg, lit)
+			if sm.lo > 0 || sm.hi > 0 {
+				w.commit(s.Call.Pos(), "deferred closure", sm, st)
+			}
+		} else {
+			w.scanExpr(s.Call, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, st)
+		}
+		w.exit(s.Pos(), st)
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		then := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, then)
+		els := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, els)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *els
+		case elseTerm:
+			*st = *then
+		default:
+			*st = *mergeHF(then, els)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		*st = *mergeHF(st, body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		*st = *mergeHF(st, body)
+	case *ast.SelectStmt:
+		w.mergeBranches(st, commClauseBodies(s.Body.List), false)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExpr(s.Tag, st)
+		bodies, hasDefault := caseClauseBodies(s.Body.List)
+		w.mergeBranches(st, bodies, !hasDefault)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		bodies, hasDefault := caseClauseBodies(s.Body.List)
+		w.mergeBranches(st, bodies, !hasDefault)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, st)
+		}
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+func commClauseBodies(clauses []ast.Stmt) [][]ast.Stmt {
+	var bodies [][]ast.Stmt
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CommClause); ok {
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	return bodies
+}
+
+func caseClauseBodies(clauses []ast.Stmt) (bodies [][]ast.Stmt, hasDefault bool) {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			bodies = append(bodies, cc.Body)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	}
+	return bodies, hasDefault
+}
+
+// mergeBranches clones the state per branch and joins the survivors;
+// fallThrough adds the entry state as one more arm (a switch with no
+// default).
+func (w *hfWalker) mergeBranches(st *hfState, bodies [][]ast.Stmt, fallThrough bool) {
+	var merged *hfState
+	if fallThrough {
+		merged = st.clone()
+	}
+	for _, b := range bodies {
+		bst := st.clone()
+		if w.walkStmts(b, bst) {
+			continue
+		}
+		if merged == nil {
+			merged = bst
+		} else {
+			merged = mergeHF(merged, bst)
+		}
+	}
+	if merged != nil {
+		*st = *merged
+	}
+	// merged == nil: every branch returned; keep the entry state for the
+	// unreachable-in-practice fall-through.
+}
+
+func (w *hfWalker) scanExpr(e ast.Expr, st *hfState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later; bound closures are applied at their call sites
+		case *ast.CallExpr:
+			w.handleCall(n, st)
+		}
+		return true
+	})
+}
+
+// statusCommitters are the net/http helpers that write a response status.
+var statusCommitters = map[string]bool{
+	"Error": true, "NotFound": true, "Redirect": true,
+	"ServeFile": true, "ServeContent": true,
+}
+
+func (w *hfWalker) handleCall(call *ast.CallExpr, st *hfState) {
+	info := w.pkg.Info
+	// Direct methods on a ResponseWriter-typed expression (a param or a
+	// struct field holding the writer).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isResponseWriter(info.TypeOf(sel.X)) {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				w.commit(call.Pos(), "WriteHeader", hfSummary{1, 1}, st)
+				return
+			case "Write":
+				w.bodyWrite(st)
+				return
+			}
+		}
+	}
+	// Local closure bound to a variable.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if lit, ok := w.locals[obj]; ok {
+				sm := w.c.summarizeLit(w.pkg, lit)
+				w.commit(call.Pos(), id.Name, sm, st)
+				return
+			}
+		}
+	}
+	fn := calleeFuncIn(info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" {
+		if statusCommitters[fn.Name()] {
+			w.commit(call.Pos(), "http."+fn.Name(), hfSummary{1, 1}, st)
+			return
+		}
+		// MaxBytesReader takes the writer only to flag the connection for
+		// closure on overflow; it never writes a status, so it must not
+		// trip the conservative writer-argument fallback below.
+		if fn.Name() == "MaxBytesReader" {
+			return
+		}
+	}
+	// Module helpers: apply their memoized commit interval.
+	if node := w.c.pass.Graph.Node(fn); node != nil {
+		sm := w.c.summarize(fn)
+		if sm.lo > 0 || sm.hi > 0 {
+			w.commit(call.Pos(), hotPathFuncLabel(fn), sm, st)
+		}
+		return
+	}
+	// External function handed the writer (fmt.Fprintf(w, ...), io.Copy(w,
+	// ...), json.NewEncoder(w)...): conservatively a body write.
+	for _, a := range call.Args {
+		if isResponseWriter(info.TypeOf(a)) {
+			w.bodyWrite(st)
+			return
+		}
+	}
+}
+
+// commit applies a definite-or-possible status write and reports the
+// definite-second-write case.
+func (w *hfWalker) commit(pos token.Pos, what string, sm hfSummary, st *hfState) {
+	if w.report && sm.lo > 0 && st.lo > 0 {
+		w.c.pass.Reportf(pos, "%s writes a second response status on this path; the handler already replied", what)
+	}
+	st.lo = cap2(st.lo + sm.lo)
+	st.hi = cap2(st.hi + sm.hi)
+}
+
+// bodyWrite commits the implicit 200 when nothing was written yet.
+func (w *hfWalker) bodyWrite(st *hfState) {
+	if st.lo < 1 {
+		st.lo = 1
+	}
+	if st.hi < 1 {
+		st.hi = 1
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/mia-rt/mia/internal/lint"
+	"github.com/mia-rt/mia/internal/lint/linttest"
+)
+
+func TestHandlerFlow(t *testing.T) {
+	linttest.Run(t, "testdata/handlerflow", []*lint.Analyzer{lint.HandlerFlow})
+}

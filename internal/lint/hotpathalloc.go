@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -14,24 +16,33 @@ import (
 const hotpathDirective = "//mia:hotpath"
 
 // HotPathAlloc flags allocating constructs inside functions annotated
-// //mia:hotpath. The AllocsPerRun guard tests observe the steady state of
-// one specific workload; this analyzer also covers the branches that
-// workload never takes (cold paths of the fast path), where an allocation
-// hides until a production graph shape finds it.
+// //mia:hotpath — and, transitively, in every unannotated module function
+// reachable from one through the call graph. The AllocsPerRun guard tests
+// observe the steady state of one specific workload; this analyzer also
+// covers the branches that workload never takes (cold paths of the fast
+// path) and the helpers the annotation does not reach, where an allocation
+// hides until a production graph shape finds it. Transitive findings are
+// reported at the call site inside the annotated function, with the full
+// indicting path printed, because the fix belongs to whoever owns the
+// hot-path contract, not the helper.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "forbid allocating constructs in //mia:hotpath functions",
+	Doc:  "forbid allocating constructs in //mia:hotpath functions and their call closure",
 	Run:  runHotPathAlloc,
 }
 
 func runHotPathAlloc(p *Pass) error {
+	c := &hotPathChecker{pass: p, summaries: make(map[*types.Func][]allocFinding)}
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !isHotPath(fd) {
 				continue
 			}
-			checkHotPathBody(p, fd)
+			for _, af := range collectAllocs(p.Pkg, fd) {
+				p.Reportf(af.pos, "%s", af.long)
+			}
+			c.checkTransitive(fd)
 		}
 	}
 	return nil
@@ -40,7 +51,7 @@ func runHotPathAlloc(p *Pass) error {
 // isHotPath reports whether the declaration's doc comment carries the
 // //mia:hotpath directive line.
 func isHotPath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
+	if fd == nil || fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
@@ -51,8 +62,122 @@ func isHotPath(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func checkHotPathBody(p *Pass, fd *ast.FuncDecl) {
-	info := p.Pkg.Info
+// hotPathChecker memoizes per-function allocation summaries across the
+// transitive sweeps of one package's annotated functions.
+type hotPathChecker struct {
+	pass      *Pass
+	summaries map[*types.Func][]allocFinding
+}
+
+// checkTransitive walks every outgoing call edge of an annotated function
+// and reports, at the call site, the first allocation reachable through
+// unannotated module callees. Annotated callees are skipped: they carry
+// their own contract and are checked directly by their own package's pass.
+func (c *hotPathChecker) checkTransitive(fd *ast.FuncDecl) {
+	p := c.pass
+	fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok || p.Graph == nil {
+		return
+	}
+	node := p.Graph.Node(fn)
+	if node == nil {
+		return
+	}
+	for _, e := range node.Calls {
+		callee := p.Graph.Node(e.Callee)
+		if callee == nil || isHotPath(callee.Decl) {
+			continue
+		}
+		visited := map[*types.Func]bool{fn: true}
+		path, af := c.findAllocPath(callee, visited)
+		if af == nil {
+			continue
+		}
+		labels := make([]string, 0, len(path)+1)
+		labels = append(labels, hotPathFuncLabel(fn))
+		for _, pf := range path {
+			labels = append(labels, hotPathFuncLabel(pf))
+		}
+		pos := p.Pkg.Fset.Position(af.pos)
+		p.Reportf(e.Site.Pos(), "call to %s reaches %s at %s:%d on the //mia:hotpath (path: %s)",
+			hotPathFuncLabel(e.Callee), af.what, filepath.Base(pos.Filename), pos.Line,
+			strings.Join(labels, " -> "))
+	}
+}
+
+// findAllocPath depth-first searches the unannotated call closure under node
+// for an unsuppressed allocating construct, returning the function path to
+// it. Calls in source order, candidates in declaration order: the reported
+// path is deterministic.
+func (c *hotPathChecker) findAllocPath(node *CallNode, visited map[*types.Func]bool) ([]*types.Func, *allocFinding) {
+	if visited[node.Fn] {
+		return nil, nil
+	}
+	visited[node.Fn] = true
+	for _, af := range c.allocs(node) {
+		af := af
+		// A //mialint:ignore on the construct's own line justifies it for
+		// the whole closure — the reason lives next to the code it excuses.
+		if c.pass.Suppressed(af.pos) {
+			continue
+		}
+		return []*types.Func{node.Fn}, &af
+	}
+	for _, e := range node.Calls {
+		callee := c.pass.Graph.Node(e.Callee)
+		if callee == nil || isHotPath(callee.Decl) {
+			continue
+		}
+		if path, af := c.findAllocPath(callee, visited); af != nil {
+			return append([]*types.Func{node.Fn}, path...), af
+		}
+	}
+	return nil, nil
+}
+
+func (c *hotPathChecker) allocs(node *CallNode) []allocFinding {
+	if s, ok := c.summaries[node.Fn]; ok {
+		return s
+	}
+	s := collectAllocs(node.Pkg, node.Decl)
+	c.summaries[node.Fn] = s
+	return s
+}
+
+// hotPathFuncLabel renders a function for path reports: package-qualified by
+// name (not full import path) so paths stay readable.
+func hotPathFuncLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return p.Name() })
+		return "(" + recv + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// allocFinding is one allocating construct found in a function body. long is
+// the full diagnostic used when the construct sits directly inside an
+// annotated function; what is the compact label used when it is reached
+// transitively and reported at a distant call site.
+type allocFinding struct {
+	pos  token.Pos
+	long string
+	what string
+}
+
+// collectAllocs scans one function body for allocating constructs. It is
+// pure — no reporting, no suppression — so the same summary serves the
+// direct check of an annotated function and the transitive sweep through
+// its unannotated callees (which may live in other packages; pkg must be
+// the package that declares fd).
+func collectAllocs(pkg *Package, fd *ast.FuncDecl) []allocFinding {
+	info := pkg.Info
+	var found []allocFinding
+	add := func(pos token.Pos, what, long string) {
+		found = append(found, allocFinding{pos: pos, what: what, long: long})
+	}
 
 	// The amortized reuse idiom `x = append(x[:0], ...)` / `x = append(x,
 	// ...)` is the one append form the hot path is allowed: its steady
@@ -81,59 +206,68 @@ func checkHotPathBody(p *Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			p.Reportf(n.Pos(), "closure literal in //mia:hotpath function allocates; hoist the function to a method or package-level func")
+			add(n.Pos(), "a closure literal",
+				"closure literal in //mia:hotpath function allocates; hoist the function to a method or package-level func")
 			return false // the closure body is not the hot path's steady state
 		case *ast.CallExpr:
-			checkHotPathCall(p, info, n, reuseAppend)
+			collectAllocCall(info, n, reuseAppend, add)
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					p.Reportf(n.Pos(), "&composite literal in //mia:hotpath function escapes to the heap; reuse a pooled value instead")
+					add(n.Pos(), "a &composite literal",
+						"&composite literal in //mia:hotpath function escapes to the heap; reuse a pooled value instead")
 				}
 			}
 		case *ast.CompositeLit:
 			if tv, ok := info.Types[n]; ok {
 				switch tv.Type.Underlying().(type) {
 				case *types.Slice:
-					p.Reportf(n.Pos(), "slice literal in //mia:hotpath function allocates its backing array; reuse a retained buffer")
+					add(n.Pos(), "a slice literal",
+						"slice literal in //mia:hotpath function allocates its backing array; reuse a retained buffer")
 				case *types.Map:
-					p.Reportf(n.Pos(), "map literal in //mia:hotpath function allocates; reuse a retained map or index by dense IDs")
+					add(n.Pos(), "a map literal",
+						"map literal in //mia:hotpath function allocates; reuse a retained map or index by dense IDs")
 				}
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
 				if tv, ok := info.Types[n]; ok && isStringType(tv.Type) && !isConstExpr(info, n) {
-					p.Reportf(n.Pos(), "string concatenation in //mia:hotpath function allocates; format off the hot path")
+					add(n.Pos(), "a string concatenation",
+						"string concatenation in //mia:hotpath function allocates; format off the hot path")
 				}
 			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				if i < len(n.Lhs) {
-					checkBoxing(p, info, info.TypeOf(n.Lhs[i]), rhs, "assignment")
+					addBoxing(info, info.TypeOf(n.Lhs[i]), rhs, "assignment", add)
 				}
 			}
 		case *ast.ReturnStmt:
 			if results != nil && len(n.Results) == results.Len() {
 				for i, r := range n.Results {
-					checkBoxing(p, info, results.At(i).Type(), r, "return")
+					addBoxing(info, results.At(i).Type(), r, "return", add)
 				}
 			}
 		}
 		return true
 	})
+	return found
 }
 
-func checkHotPathCall(p *Pass, info *types.Info, call *ast.CallExpr, reuseAppend map[*ast.CallExpr]bool) {
+func collectAllocCall(info *types.Info, call *ast.CallExpr, reuseAppend map[*ast.CallExpr]bool, add func(token.Pos, string, string)) {
 	// Builtins that always (or, for non-reuse append forms, per-call)
 	// allocate.
 	switch {
 	case isBuiltin(info, call, "make"):
-		p.Reportf(call.Pos(), "make in //mia:hotpath function allocates; size buffers at construction and reuse them")
+		add(call.Pos(), "a make call",
+			"make in //mia:hotpath function allocates; size buffers at construction and reuse them")
 	case isBuiltin(info, call, "new"):
-		p.Reportf(call.Pos(), "new in //mia:hotpath function allocates; reuse a pooled value")
+		add(call.Pos(), "a new call",
+			"new in //mia:hotpath function allocates; reuse a pooled value")
 	case isBuiltin(info, call, "append"):
 		if !reuseAppend[call] {
-			p.Reportf(call.Pos(), "append result is not assigned back to its source (x = append(x, ...)); this form builds a fresh slice per call")
+			add(call.Pos(), "a non-reuse append",
+				"append result is not assigned back to its source (x = append(x, ...)); this form builds a fresh slice per call")
 		}
 	}
 
@@ -141,13 +275,15 @@ func checkHotPathCall(p *Pass, info *types.Info, call *ast.CallExpr, reuseAppend
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		if isStringType(tv.Type) {
 			if _, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
-				p.Reportf(call.Pos(), "string conversion from a slice in //mia:hotpath function copies; keep the []byte form on the hot path")
+				add(call.Pos(), "a string-from-slice conversion",
+					"string conversion from a slice in //mia:hotpath function copies; keep the []byte form on the hot path")
 			}
 		}
 	}
 
-	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		p.Reportf(call.Pos(), "fmt.%s in //mia:hotpath function allocates (formatting state and boxed operands); format off the hot path", fn.Name())
+	if fn := calleeFuncIn(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		add(call.Pos(), "a fmt."+fn.Name()+" call",
+			fmt.Sprintf("fmt.%s in //mia:hotpath function allocates (formatting state and boxed operands); format off the hot path", fn.Name()))
 		return // the call is already banned; per-argument boxing reports would be noise
 	}
 
@@ -171,14 +307,14 @@ func checkHotPathCall(p *Pass, info *types.Info, call *ast.CallExpr, reuseAppend
 		default:
 			continue
 		}
-		checkBoxing(p, info, param, arg, "argument")
+		addBoxing(info, param, arg, "argument", add)
 	}
 }
 
-// checkBoxing reports when expr's concrete value is implicitly converted to
-// an interface-typed destination, which heap-allocates the box for every
-// value kind that is not already pointer-shaped.
-func checkBoxing(p *Pass, info *types.Info, dst types.Type, expr ast.Expr, what string) {
+// addBoxing records when expr's concrete value is implicitly converted to an
+// interface-typed destination, which heap-allocates the box for every value
+// kind that is not already pointer-shaped.
+func addBoxing(info *types.Info, dst types.Type, expr ast.Expr, what string, add func(token.Pos, string, string)) {
 	if dst == nil {
 		return
 	}
@@ -195,7 +331,8 @@ func checkBoxing(p *Pass, info *types.Info, dst types.Type, expr ast.Expr, what 
 	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
 		return // constants up to the compiler's staticuint64s table; accept
 	}
-	p.Reportf(expr.Pos(), "%s implicitly boxes %s into an interface, which allocates on the //mia:hotpath; pass a concrete type or a pointer", what, src)
+	add(expr.Pos(), fmt.Sprintf("interface boxing of %s", src),
+		fmt.Sprintf("%s implicitly boxes %s into an interface, which allocates on the //mia:hotpath; pass a concrete type or a pointer", what, src))
 }
 
 // isPointerShaped reports whether values of t fit in an interface word
@@ -230,4 +367,21 @@ func isStringType(t types.Type) bool {
 func isConstExpr(info *types.Info, expr ast.Expr) bool {
 	tv, ok := info.Types[expr]
 	return ok && tv.Value != nil
+}
+
+// calleeFuncIn resolves a call expression to the *types.Func it invokes
+// using the given package's type info, or nil for builtins, conversions, and
+// calls of function-typed values.
+func calleeFuncIn(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
 }

@@ -1,0 +1,74 @@
+// Package cg exercises every resolution mode of the lint call graph:
+// static calls, interface dispatch, method values, function-typed values,
+// cross-package edges, and (mutual) recursion.
+package cg
+
+import "example.com/cg/sub"
+
+// ---- static calls ----
+
+func A() {
+	B()
+	sub.Helper() // cross-package static edge
+}
+
+func B() {}
+
+// ---- recursion ----
+
+func Rec(n int) {
+	if n > 0 {
+		Rec(n - 1)
+	}
+}
+
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+func Pong(n int) {
+	if n > 0 {
+		Ping(n - 1)
+	}
+}
+
+// ---- interface dispatch ----
+
+type Worker interface{ Work() }
+
+type Fast struct{}
+
+func (Fast) Work() {}
+
+type Slow struct{}
+
+func (*Slow) Work() {}
+
+// NotWorker has a Work method with a different shape, so it must not be an
+// interface-dispatch candidate.
+type NotWorker struct{}
+
+func (NotWorker) Work(n int) {}
+
+func Dispatch(w Worker) {
+	w.Work()
+}
+
+// ---- dynamic calls: method values and function values ----
+
+func NamedFn() {}
+
+func UseMethodValue(s *Slow) {
+	f := s.Work // address-takes (*Slow).Work
+	f()
+}
+
+func Apply(f func()) {
+	f()
+}
+
+func CallApply() {
+	Apply(NamedFn) // address-takes NamedFn
+}

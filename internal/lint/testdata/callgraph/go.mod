@@ -1,0 +1,3 @@
+module example.com/cg
+
+go 1.22

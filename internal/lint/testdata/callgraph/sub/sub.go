@@ -1,0 +1,5 @@
+package sub
+
+func Helper() { leaf() }
+
+func leaf() {}

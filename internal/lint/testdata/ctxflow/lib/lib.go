@@ -1,12 +1,9 @@
 // Package lib exercises the ctxflow analyzer's library-package rules:
-// context roots are banned, context parameters come first, goroutines need
-// a visible join.
+// context roots are banned and context parameters come first (the
+// goroutine-join rule moved to the goroleak fixture).
 package lib
 
-import (
-	"context"
-	"sync"
-)
+import "context"
 
 // Detach invents a root context inside a library.
 func Detach() context.Context {
@@ -26,36 +23,4 @@ func Sweep(n int, ctx context.Context) error { // want ctxflow:"Sweep takes cont
 // Run takes its context first: allowed.
 func Run(ctx context.Context, n int) error {
 	return ctx.Err()
-}
-
-// FireAndForget launches a goroutine nothing ever joins.
-func FireAndForget(f func()) {
-	go func() { // want ctxflow:"goroutine has no visible join"
-		f()
-	}()
-}
-
-// Joined launches a WaitGroup-bracketed worker: allowed.
-func Joined(f func()) {
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		f()
-	}()
-	wg.Wait()
-}
-
-// Replied launches a goroutine that reports completion on a channel:
-// allowed.
-func Replied(f func() int) int {
-	ch := make(chan int, 1)
-	go func() { ch <- f() }()
-	return <-ch
-}
-
-// Justified documents why its goroutine outlives the call.
-func Justified(f func()) {
-	//mialint:ignore ctxflow -- joined by the process-lifetime supervisor in the caller
-	go f()
 }

@@ -1,0 +1,27 @@
+// Package shard pins the determinism analyzer's scope extension: ring
+// construction must stay a pure function of the member list (DESIGN §3.9),
+// so the analysis-core rules apply here too.
+package shard
+
+import "time"
+
+// PlacePoints must not salt placement with the wall clock.
+func PlacePoints(members []string) int64 {
+	return int64(len(members)) + time.Now().UnixNano() // want determinism:"time.Now in the analysis core"
+}
+
+// SumWeights must not accumulate in map order.
+func SumWeights(w map[string]int) int {
+	n := 0
+	for _, v := range w { // want determinism:"map iteration order is nondeterministic"
+		n += v
+	}
+	return n
+}
+
+// Jittered documents the one sanctioned randomness: jitter that never
+// reaches placement or results.
+func Jittered(seed int64) int64 {
+	//mialint:ignore determinism -- jitter only; never feeds ring placement
+	return seed + time.Now().UnixNano()
+}

@@ -1,0 +1,107 @@
+// Package gl exercises the goroleak analyzer: literal goroutine bodies are
+// scanned for join evidence (channel send/close, Done calls), named spawn
+// targets are resolved through the call graph and their bodies — and their
+// callees' bodies — scanned the same way.
+package gl
+
+import "sync"
+
+// FireAndForget launches a goroutine nothing ever joins.
+func FireAndForget(f func()) {
+	go func() { // want goroleak:"goroutine has no visible join"
+		f()
+	}()
+}
+
+// Joined launches a WaitGroup-bracketed worker: allowed.
+func Joined(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+// Replied launches a goroutine that reports completion on a channel:
+// allowed.
+func Replied(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}
+
+// Justified documents why its goroutine outlives the call.
+func Justified(f func()) {
+	//mialint:ignore goroleak -- joined by the process-lifetime supervisor in the caller
+	go f()
+}
+
+// worker is a named spawn target whose own body carries the join evidence.
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+	done chan struct{}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for range p.jobs {
+	}
+}
+
+// SpawnNamed resolves the method through the call graph: worker's body has
+// the Done call, so no diagnostic — the case the old literal-only heuristic
+// forced an ignore on.
+func (p *pool) SpawnNamed(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	p.wg.Wait()
+}
+
+// signal closes the done channel, one call down from the spawn target.
+func (p *pool) signal() {
+	close(p.done)
+}
+
+func (p *pool) runThenSignal() {
+	for range p.jobs {
+	}
+	p.signal()
+}
+
+// SpawnTransitive finds the join evidence two hops away: runThenSignal →
+// signal → close(done).
+func (p *pool) SpawnTransitive() {
+	go p.runThenSignal()
+	<-p.done
+}
+
+// leakyLoop has no join evidence anywhere in its closure.
+func leakyLoop(ticks []int) {
+	for range ticks {
+	}
+}
+
+// SpawnLeaky spawns a named target whose whole call closure is joinless.
+func SpawnLeaky(ticks []int) {
+	go leakyLoop(ticks) // want goroleak:"goroutine has no visible join"
+}
+
+// SpawnDynamic spawns a function value: nothing to audit, so the analyzer
+// demands a justification.
+func SpawnDynamic(f func()) {
+	go f() // want goroleak:"goroutine has no visible join"
+}
+
+// wrapped calls a joining helper from inside the spawned literal: the
+// literal body itself has no evidence, its callee does.
+func (p *pool) SpawnWrappedLiteral() {
+	go func() {
+		p.runThenSignal()
+	}()
+	<-p.done
+}

@@ -1,0 +1,3 @@
+module example.com/goroleak
+
+go 1.22

@@ -1,0 +1,3 @@
+module example.com/hflow
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package lib sits outside the handlerflow scope (no internal/server or
+// internal/shard fragment in its path): the same violations draw nothing.
+package lib
+
+import "net/http"
+
+func HandleDouble(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusTeapot)
+}
+
+func HandleZero(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,11 @@
+// Package helpers is the cross-package leg of the transitive hotpathalloc
+// fixture: an allocating helper that is perfectly fine in cold code and only
+// becomes a violation when a //mia:hotpath function in another package
+// reaches it.
+package helpers
+
+// Scratch returns a fresh buffer per call.
+func Scratch(n int) []int {
+	out := make([]int, n)
+	return out
+}

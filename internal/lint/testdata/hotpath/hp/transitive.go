@@ -1,0 +1,74 @@
+package hp
+
+import (
+	"fmt"
+
+	"example.com/hotpath/helpers"
+)
+
+// refill is annotated; the allocation hides one call down in an unannotated
+// helper. The diagnostic lands here, at the call site, with the path.
+//
+//mia:hotpath
+func (s *state) refill(n int) {
+	s.fill(n) // want hotpathalloc:"call to .*fill reaches a make call at transitive\\.go:\\d+ on the //mia:hotpath \\(path: .*refill -> .*fill\\)"
+}
+
+func (s *state) fill(n int) {
+	s.buf = make([]int, n)
+}
+
+// tick reaches the allocation two calls down; the full chain is printed.
+//
+//mia:hotpath
+func (s *state) tick(n int) {
+	s.viaA(n) // want hotpathalloc:"call to .*viaA reaches a fmt\\.Sprintf call at transitive\\.go:\\d+ on the //mia:hotpath \\(path: .*tick -> .*viaA -> .*viaB\\)"
+}
+
+func (s *state) viaA(n int) { s.viaB(n) }
+
+func (s *state) viaB(n int) { s.name = fmt.Sprintf("via-%d", n) }
+
+// borrow crosses a package boundary: the helper lives in example.com/hotpath/helpers.
+//
+//mia:hotpath
+func (s *state) borrow(n int) {
+	s.buf = helpers.Scratch(n) // want hotpathalloc:"call to helpers\\.Scratch reaches a make call at helpers\\.go:\\d+ on the //mia:hotpath \\(path: .*borrow -> helpers\\.Scratch\\)"
+}
+
+// reinit draws no diagnostic: the helper's allocation carries a reasoned
+// //mialint:ignore at its own site, which justifies it for every hot-path
+// caller.
+//
+//mia:hotpath
+func (s *state) reinit(n int) {
+	s.ensure(n)
+}
+
+func (s *state) ensure(n int) {
+	if s.buf == nil {
+		//mialint:ignore hotpathalloc -- init-only branch, runs once per state lifetime
+		s.buf = make([]int, n)
+	}
+}
+
+// outer draws no transitive diagnostic either: grow is itself annotated, so
+// it is checked directly (and already reports at its own lines).
+//
+//mia:hotpath
+func (s *state) outer(n int) {
+	s.grow(n)
+}
+
+// idle exercises cycle safety: spin recurses and never allocates.
+//
+//mia:hotpath
+func (s *state) idle(n int) {
+	s.spin(n)
+}
+
+func (s *state) spin(n int) {
+	if n > 0 {
+		s.spin(n - 1)
+	}
+}

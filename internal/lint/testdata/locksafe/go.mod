@@ -1,0 +1,3 @@
+module example.com/locksafe
+
+go 1.22

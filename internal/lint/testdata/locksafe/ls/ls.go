@@ -1,0 +1,177 @@
+// Package ls exercises the locksafe analyzer: release-on-every-return-path,
+// double-lock, and blocking-while-locked, plus the patterns that must stay
+// quiet (defer unlock, select with default, lock helpers, branch joins).
+package ls
+
+import (
+	"net/http"
+	"sync"
+)
+
+type box struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	wg    sync.WaitGroup
+	ch    chan int
+	items []int
+}
+
+// earlyReturn releases on the happy path but leaks the lock on the error
+// path: the classic non-defer early return.
+func (b *box) earlyReturn(bad bool) int {
+	b.mu.Lock()
+	if bad {
+		return 0 // want locksafe:"b\\.mu is still held on this return path"
+	}
+	n := len(b.items)
+	b.mu.Unlock()
+	return n
+}
+
+// fallsOffEnd unlocks on one arm only and then falls off the end.
+func (b *box) fallsOffEnd(flush bool) {
+	b.mu.Lock()
+	if flush {
+		b.items = b.items[:0]
+		b.mu.Unlock()
+		return
+	}
+	b.items = append(b.items, 0)
+} // want locksafe:"b\\.mu is still held when the function returns"
+
+// deferred is the sanctioned shape: every return path is covered.
+func (b *box) deferred(bad bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bad {
+		return 0
+	}
+	return len(b.items)
+}
+
+// deferredWrapper covers the defer-closure release form.
+func (b *box) deferredWrapper() int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return len(b.items)
+}
+
+// doubleLock write-locks twice on the same path.
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want locksafe:"b\\.mu locked again while already held on this path"
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// upgrade read-locks and then write-locks the same RWMutex: self-deadlock.
+func (b *box) upgrade() {
+	b.rw.RLock()
+	b.rw.Lock() // want locksafe:"b\\.rw write-locked while read lock is held"
+	b.rw.Unlock()
+	b.rw.RUnlock()
+}
+
+// branchLock acquires on one arm only; the join must not cry wolf, but the
+// return inside the arm must.
+func (b *box) branchLock(cond bool) {
+	if cond {
+		b.mu.Lock()
+		if len(b.items) == 0 {
+			return // want locksafe:"b\\.mu is still held on this return path"
+		}
+		b.mu.Unlock()
+	}
+}
+
+// sendWhileLocked blocks on a channel send inside the critical section.
+func (b *box) sendWhileLocked(v int) {
+	b.mu.Lock()
+	b.ch <- v // want locksafe:"channel send while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+// recvWhileLocked blocks on a receive inside the critical section.
+func (b *box) recvWhileLocked() int {
+	b.mu.Lock()
+	v := <-b.ch // want locksafe:"channel receive while b\\.mu is held"
+	b.mu.Unlock()
+	return v
+}
+
+// selectWhileLocked has no default clause, so it parks the goroutine.
+func (b *box) selectWhileLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want locksafe:"blocking select while b\\.mu is held"
+	case v := <-b.ch:
+		b.items = append(b.items, v)
+	}
+}
+
+// trySelect has a default clause: non-blocking, allowed.
+func (b *box) trySelect(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// rangeWhileLocked drains a channel while holding the lock.
+func (b *box) rangeWhileLocked() {
+	b.mu.Lock()
+	for v := range b.ch { // want locksafe:"range over a channel while b\\.mu is held"
+		b.items = append(b.items, v)
+	}
+	b.mu.Unlock()
+}
+
+// waitWhileLocked parks on a WaitGroup inside the critical section.
+func (b *box) waitWhileLocked() {
+	b.mu.Lock()
+	b.wg.Wait() // want locksafe:"sync\\.WaitGroup\\.Wait while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+// fetchWhileLocked does a network round trip inside the critical section.
+func (b *box) fetchWhileLocked(url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp, err := http.Get(url) // want locksafe:"net/http round trip while b\\.mu is held"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// unlockThenWait releases before parking: allowed.
+func (b *box) unlockThenWait() {
+	b.mu.Lock()
+	b.items = b.items[:0]
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// acquire is a lock helper: it locks and hands the release to its caller.
+// No release appears in this body, so rule 1 stays quiet by design.
+func (b *box) acquire() {
+	b.mu.Lock()
+}
+
+// release is the counterpart; unlocking without a local lock is not flagged.
+func (b *box) release() {
+	b.mu.Unlock()
+}
+
+// justified demonstrates the escape hatch.
+func (b *box) justified() {
+	b.mu.Lock()
+	//mialint:ignore locksafe -- the send is guaranteed non-blocking: ch is buffered and drained only by this method
+	b.ch <- 0
+	b.mu.Unlock()
+}

@@ -104,6 +104,7 @@ type OrderHasher struct {
 func (g *Graph) OrderHasher() *OrderHasher {
 	h := sha256.New()
 	g.hashStatic(h)
+	//mialint:ignore hotpathalloc -- constructor: freezing the midstate allocates by design; hot paths reach it only through the per-image once-guard
 	bank := make([]int64, g.Cores)
 	for k := range bank {
 		bank[k] = int64(g.BankOf(CoreID(k)))
@@ -121,8 +122,10 @@ func newOrderHasher(h hash.Hash, bank []int64) *OrderHasher {
 	}
 	state, err := m.MarshalBinary()
 	if err != nil {
+		//mialint:ignore hotpathalloc -- panic path for a broken marshal invariant; never taken in steady state
 		panic("model: marshaling sha256 midstate: " + err.Error())
 	}
+	//mialint:ignore hotpathalloc -- constructor: the frozen hasher is built once per graph and reused by every Sum
 	return &OrderHasher{state: state, bank: bank}
 }
 
@@ -145,6 +148,7 @@ func (oh *OrderHasher) Sum(orders [][]TaskID) string {
 // broken invariant, not an input condition.
 func restoreMidstate(h hash.Hash, state []byte) {
 	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		//mialint:ignore hotpathalloc -- panic path for a broken midstate invariant; never taken in steady state
 		panic("model: restoring sha256 midstate: " + err.Error())
 	}
 }

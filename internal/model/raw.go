@@ -143,6 +143,7 @@ func (r *RawGraph) hashStatic(h hash.Hash) {
 func (r *RawGraph) OrderHasher() *OrderHasher {
 	h := sha256.New()
 	r.hashStatic(h)
+	//mialint:ignore hotpathalloc -- constructor: freezing the midstate allocates by design; hot paths reach it only through the per-image once-guard
 	bank := make([]int64, r.Cores)
 	for k := range bank {
 		bank[k] = int64(r.BankTable[k])

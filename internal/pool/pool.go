@@ -56,6 +56,7 @@ type panicError struct {
 }
 
 func (p *panicError) Error() string {
+	//mialint:ignore hotpathalloc -- formats a worker panic after the sweep has already failed
 	return fmt.Sprintf("pool: task panicked: %v", p.value)
 }
 

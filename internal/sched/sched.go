@@ -190,8 +190,10 @@ type UnschedulableError struct {
 // Error implements error.
 func (e *UnschedulableError) Error() string {
 	if e.Task != model.NoTask {
+		//mialint:ignore hotpathalloc -- error formatting runs only after the analysis has already failed
 		return fmt.Sprintf("unschedulable: %s at t=%d (task %s)", e.Reason, e.Time, e.Task)
 	}
+	//mialint:ignore hotpathalloc -- error formatting runs only after the analysis has already failed
 	return fmt.Sprintf("unschedulable: %s at t=%d", e.Reason, e.Time)
 }
 
@@ -200,10 +202,12 @@ func (e *UnschedulableError) Unwrap() error { return ErrUnschedulable }
 
 // DeadlineExceeded builds the deadline-crossed failure.
 func DeadlineExceeded(t model.Cycles) error {
+	//mialint:ignore hotpathalloc -- termination path: an unschedulable verdict ends the run and the error carries per-call time context
 	return &UnschedulableError{Reason: "deadline", Time: t, Task: model.NoTask}
 }
 
 // Deadlock builds the dependency/order-deadlock failure.
 func Deadlock(t model.Cycles, task model.TaskID) error {
+	//mialint:ignore hotpathalloc -- termination path: an unschedulable verdict ends the run and the error carries per-call (time, task) context
 	return &UnschedulableError{Reason: "deadlock", Time: t, Task: task}
 }

@@ -174,9 +174,10 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 		}},
 		mux:     http.NewServeMux(),
 		targets: make(map[string]*target, len(cfg.Targets)),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		ctx:     rctx,
-		cancel:  cancel,
+		//mialint:ignore determinism -- retry-backoff jitter only: the seed decorrelates concurrent routers and never touches routing or results
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		ctx:    rctx,
+		cancel: cancel,
 	}
 	for _, m := range r.ring.Members() {
 		t := &target{url: m}
@@ -221,7 +222,8 @@ func (r *Router) Close() {
 // anything else — including a 503 drain — marks it down.
 func (r *Router) CheckHealth(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, t := range r.targets {
+	for _, m := range r.ring.Members() {
+		t := r.targets[m]
 		wg.Add(1)
 		go func(t *target) {
 			defer wg.Done()
@@ -250,8 +252,8 @@ func (r *Router) CheckHealth(ctx context.Context) {
 // and the requests fail over naturally when the attempts do.
 func (r *Router) candidates(fp string) []string {
 	total := 0
-	for _, t := range r.targets {
-		total += int(t.inflight.Load())
+	for _, m := range r.ring.Members() {
+		total += int(r.targets[m].inflight.Load())
 	}
 	ord := r.ring.OrderBounded(fp, func(m string) bool {
 		t := r.targets[m]
@@ -523,8 +525,8 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 // health summary while at least one shard is healthy, 503 otherwise.
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	healthy := 0
-	for _, t := range r.targets {
-		if t.healthy.Load() {
+	for _, m := range r.ring.Members() {
+		if r.targets[m].healthy.Load() {
 			healthy++
 		}
 	}
