@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all vet build test race lint lint-fixtures fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke engine-diff engine-diff-parallel ci clean
+.PHONY: all vet build test race lint lint-fixtures fuzz-smoke bench-smoke pareto-smoke serve-smoke serve-load-smoke serve-shard-smoke engine-diff engine-diff-parallel ci clean
 
 all: build
 
@@ -69,8 +69,18 @@ fuzz-smoke:
 # by the AllocsPerRun guard tests, not by this warn-only smoke pass).
 bench-smoke:
 	$(GO) test ./internal/sched/incremental ./internal/explore ./internal/engine \
-	  ./internal/wire ./internal/server \
+	  ./internal/explore/pareto ./internal/wire ./internal/server \
 	  -run '^$$' -bench . -benchmem -benchtime 100ms | $(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
+
+# Determinism gate for the multi-objective search (DESIGN §3.11): the smoke
+# search's Pareto front must hash to the golden fingerprint pinned in
+# pareto_test.go, and the cross-jobs/repeat-run byte-identity suite must
+# hold under the race detector. An intentional change to the search (new
+# mutation weights, different crowding tie-break, …) re-pins the golden by
+# running the test once and copying the fingerprint from the failure.
+pareto-smoke:
+	$(GO) test -race ./internal/explore/pareto -run \
+	  'TestSmokeGoldenFingerprint|TestByteIdenticalAcrossJobs|TestRepeatedSeededRunsIdentical' -v
 
 # The tentpole's safety net, runnable on its own: the engine path (compile
 # once, analyze through the façade — cold, warm, replay, both algorithms)
@@ -117,7 +127,7 @@ serve-load-smoke:
 serve-shard-smoke:
 	$(GO) test -race -tags servesmoke -run TestServeShardSmoke -v ./cmd/miaload
 
-ci: lint build race fuzz-smoke bench-smoke serve-smoke serve-load-smoke serve-shard-smoke
+ci: lint build race fuzz-smoke bench-smoke pareto-smoke serve-smoke serve-load-smoke serve-shard-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,141 @@
+// Command miaopt runs the multi-objective design-space search: an NSGA-II
+// portfolio over per-core order permutations, task→core remappings, and
+// bank-policy changes, reporting the Pareto front of makespan vs. peak
+// per-bank interference vs. bank-load balance (or any registered objective
+// vector). The front is byte-identical across -jobs levels and repeated
+// runs of the same seed; the canonical JSON written by -o is the committed
+// artifact format under results/.
+//
+// Usage:
+//
+//	miaopt graph.json
+//	miaopt -gen 24x16 -cores 16 -banks 16 -pop 24 -gens 30 -seed 42 -jobs 4
+//	miaopt -gen 240x16 -pop 12 -gens 8 -o results/pareto_10x.json
+//	miaopt -objectives makespan,comm-affinity graph.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/explore/objective"
+	"github.com/mia-rt/mia/internal/explore/pareto"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" engine backend
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "miaopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("miaopt", flag.ContinueOnError)
+	var (
+		genShape  = fs.String("gen", "", `generate a layered instance "LAYERSxSIZE" (e.g. "24x16") instead of reading a graph file`)
+		cores     = fs.Int("cores", 16, "platform cores for -gen (default: the MPPA-256 cluster's 16)")
+		banks     = fs.Int("banks", 16, "platform banks for -gen")
+		graphSeed = fs.Int64("graph-seed", 1, "instance seed for -gen")
+		objNames  = fs.String("objectives", "", "comma-separated objective names (default: "+strings.Join(objective.NamesOf(objective.Default()), ",")+"; registered: "+strings.Join(objective.Names(), ",")+")")
+		popSize   = fs.Int("pop", 0, "population size (default 24)")
+		gens      = fs.Int("gens", 0, "NSGA-II generations (default 30)")
+		seed      = fs.Int64("seed", 1, "search seed (the front is a pure function of graph, options, and seed)")
+		jobs      = fs.Int("jobs", 1, "parallel candidate evaluations (the front is byte-identical at every level)")
+		outPath   = fs.String("o", "", "write the canonical front JSON to this file")
+		progress  = fs.Bool("progress", false, "log each front update to stderr as the search runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *model.Graph
+	switch {
+	case *genShape != "":
+		var layers, size int
+		if _, err := fmt.Sscanf(*genShape, "%dx%d", &layers, &size); err != nil || layers < 1 || size < 1 {
+			return fmt.Errorf("bad -gen shape %q (want LAYERSxSIZE, e.g. 24x16)", *genShape)
+		}
+		p := gen.NewParams(layers, size)
+		p.Seed = *graphSeed
+		p.Cores, p.Banks = *cores, *banks
+		g = gen.MustLayered(p)
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = model.ReadJSON(f); err != nil {
+			return fmt.Errorf("reading %s: %w", fs.Arg(0), err)
+		}
+	default:
+		return fmt.Errorf("need a graph file or -gen shape (and at most one graph)")
+	}
+
+	var objs []objective.Objective
+	if *objNames != "" {
+		for _, name := range strings.Split(*objNames, ",") {
+			o, err := objective.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			objs = append(objs, o)
+		}
+	}
+
+	img, err := engine.Compile(g, sched.Options{})
+	if err != nil {
+		return err
+	}
+	opts := pareto.Options{
+		Objectives:  objs,
+		PopSize:     *popSize,
+		Generations: *gens,
+		Seed:        *seed,
+		Jobs:        *jobs,
+	}
+	if *progress {
+		opts.OnFront = func(u pareto.FrontUpdate) {
+			fmt.Fprintf(os.Stderr, "miaopt: generation %d: %d evaluations, front size %d\n",
+				u.Generation, u.Evaluations, len(u.Points))
+		}
+	}
+	res, err := pareto.Search(ctx, img, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "graph: %d tasks, %d cores, %d banks (fingerprint %s)\n",
+		img.NumTasks, img.Cores, img.Banks, img.Fingerprint()[:16])
+	fmt.Fprintf(stdout, "search: objectives [%s], %d generations, %d evaluations, seed %d\n",
+		strings.Join(res.Objectives, ", "), res.Generations, res.Evaluations, *seed)
+	fmt.Fprintf(stdout, "front: %d non-dominated points (fingerprint %s)\n", len(res.Front), res.FrontFingerprint())
+	for _, p := range res.Front {
+		vals := make([]string, len(p.Values))
+		for i, v := range p.Values {
+			vals[i] = fmt.Sprintf("%s=%.2f", res.Objectives[i], v)
+		}
+		fmt.Fprintf(stdout, "  %s  policy=%s  %s\n", p.Fingerprint[:16], p.Policy, strings.Join(vals, "  "))
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, res.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outPath)
+	}
+	return nil
+}

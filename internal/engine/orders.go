@@ -49,6 +49,20 @@ func (o *Orders) Swap(k model.CoreID, pos int) {
 	ord[pos], ord[pos+1] = ord[pos+1], ord[pos]
 }
 
+// SetOrder overwrites core k's order with a copy of order — the bulk
+// counterpart of Swap for consumers that load whole candidate permutations
+// (the Pareto search's per-worker genome loading). The length must match
+// the compiled per-core order length: task migration requires a recompile,
+// exactly as for CopyFrom.
+//
+//mia:hotpath
+func (o *Orders) SetOrder(k model.CoreID, order []model.TaskID) {
+	if len(order) != len(o.view[k]) {
+		panic("engine: Orders.SetOrder: per-core order length changed since Compile (task migration requires a recompile)")
+	}
+	copy(o.view[k], order)
+}
+
 // CopyFrom overwrites the overlay with g's current per-core orders. The
 // graph must have the compiled graph's task-to-core assignment (order
 // permutations are the supported mutation; task migration requires a

@@ -1,0 +1,266 @@
+package explore
+
+// The scalarized-search differential suite: the layered implementation
+// (move.Evaluator + objective.Scalar, warm replay, worker pools) must make
+// byte-identical decisions to a from-first-principles reference — the
+// pre-refactor algorithm re-implemented here sequentially over a mutable
+// graph clone with one cold package-level analysis per candidate. Any
+// divergence in Initial, Improved, Evaluations, the accepted-move log, or
+// the returned graph fails; the corpus is the engine suite's 216-instance
+// recipe (6 layered shapes × 3 platform configs × 12 seeds).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/arbiter"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	"github.com/mia-rt/mia/internal/sched/incremental"
+)
+
+// diffCorpus is the engine differential suite's 216-instance recipe.
+func diffCorpus() []gen.Params {
+	shapes := []struct {
+		layers, size int
+	}{
+		{8, 4}, {12, 4}, {6, 8},
+		{4, 8}, {4, 12}, {6, 10},
+	}
+	platforms := []struct {
+		cores, banks int
+		shared       bool
+	}{
+		{4, 4, false},
+		{8, 8, false},
+		{4, 1, true},
+	}
+	var corpus []gen.Params
+	for _, sh := range shapes {
+		for _, pl := range platforms {
+			for seed := int64(1); seed <= 12; seed++ {
+				p := gen.NewParams(sh.layers, sh.size)
+				p.Seed = seed
+				p.Cores, p.Banks, p.SharedBank = pl.cores, pl.banks, pl.shared
+				corpus = append(corpus, p)
+			}
+		}
+	}
+	return corpus
+}
+
+// corpusOpts rotates arbiters and competitor-merging modes across the
+// corpus so every combination appears many times without multiplying the
+// runtime.
+func corpusOpts(ci int) sched.Options {
+	arbiters := []arbiter.Arbiter{
+		arbiter.NewRoundRobin(1),
+		arbiter.NewRoundRobin(3),
+		arbiter.NewWeightedRR(1, func(c model.CoreID) int64 { return int64(c)%2 + 1 }),
+	}
+	return sched.Options{Arbiter: arbiters[ci%len(arbiters)], SeparateCompetitors: ci%2 == 1}
+}
+
+// refCost is the reference evaluator: one cold package-level analysis.
+func refCost(g *model.Graph, opts sched.Options) model.Cycles {
+	res, err := incremental.Schedule(g, opts)
+	if err != nil {
+		return model.Infinity
+	}
+	return res.Makespan
+}
+
+// refHillClimb is the pre-refactor hill climb, sequential and cold.
+func refHillClimb(g *model.Graph, opts Options) (*Result, error) {
+	cur := g.Clone()
+	base := refCost(cur, opts.Sched)
+	if base == model.Infinity {
+		return nil, fmt.Errorf("ref: initial order is unschedulable")
+	}
+	res := &Result{Initial: base, Improved: base, Evaluations: 1}
+	budget := opts.maxEvals()
+	ms := newMoveSet(cur.Cores, cur.Edges())
+	for res.Evaluations < budget {
+		cands := append([][2]int(nil), ms.legal(cur)...)
+		if left := budget - res.Evaluations; len(cands) > left {
+			cands = cands[:left]
+		}
+		makespans := make([]model.Cycles, len(cands))
+		for i, mv := range cands {
+			cur.SwapOrder(model.CoreID(mv[0]), mv[1])
+			makespans[i] = refCost(cur, opts.Sched)
+			cur.SwapOrder(model.CoreID(mv[0]), mv[1])
+		}
+		res.Evaluations += len(cands)
+		bestGain := model.Cycles(0)
+		bestMove := [2]int{-1, -1}
+		for i, m := range makespans {
+			if res.Improved-m > bestGain {
+				bestGain = res.Improved - m
+				bestMove = cands[i]
+			}
+		}
+		if bestMove[0] < 0 {
+			break
+		}
+		cur.SwapOrder(model.CoreID(bestMove[0]), bestMove[1])
+		res.Improved -= bestGain
+		res.Moves = append(res.Moves, bestMove)
+	}
+	res.Best = cur
+	return res, nil
+}
+
+// refAnneal is the pre-refactor multi-restart annealing, sequential and
+// cold.
+func refAnneal(g *model.Graph, opts Options) (*Result, error) {
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	type refChain struct {
+		res     *Result
+		bestLen int
+	}
+	chains := make([]refChain, restarts)
+	for i := range chains {
+		cur := g.Clone()
+		curCost := refCost(cur, opts.Sched)
+		if curCost == model.Infinity {
+			return nil, fmt.Errorf("ref: initial order is unschedulable")
+		}
+		res := &Result{Initial: curCost, Improved: curCost, Evaluations: 1}
+		c := refChain{res: res}
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+		temp := opts.Temperature
+		if temp <= 0 {
+			temp = 0.05
+		}
+		temperature := temp * float64(curCost)
+		cooling := opts.Cooling
+		if cooling <= 0 || cooling >= 1 {
+			cooling = 0.995
+		}
+		budget := opts.maxEvals()
+		ms := newMoveSet(cur.Cores, cur.Edges())
+		for res.Evaluations < budget {
+			moves := ms.legal(cur)
+			if len(moves) == 0 {
+				break
+			}
+			mv := moves[rng.Intn(len(moves))]
+			cur.SwapOrder(model.CoreID(mv[0]), mv[1])
+			cand := refCost(cur, opts.Sched)
+			res.Evaluations++
+			delta := float64(cand - curCost)
+			if delta <= 0 || (temperature > 0 && rng.Float64() < math.Exp(-delta/temperature)) {
+				curCost = cand
+				res.Moves = append(res.Moves, mv)
+				if cand < res.Improved {
+					res.Improved = cand
+					c.bestLen = len(res.Moves)
+				}
+			} else {
+				cur.SwapOrder(model.CoreID(mv[0]), mv[1])
+			}
+			temperature *= cooling
+		}
+		chains[i] = c
+	}
+	winner := chains[0]
+	total := 0
+	for _, c := range chains {
+		total += c.res.Evaluations
+		if c.res.Improved < winner.res.Improved {
+			winner = c
+		}
+	}
+	winner.res.Evaluations = total
+	best := g.Clone()
+	for _, mv := range winner.res.Moves[:winner.bestLen] {
+		best.SwapOrder(model.CoreID(mv[0]), mv[1])
+	}
+	winner.res.Best = best
+	return winner.res, nil
+}
+
+// equalResult compares every decision-bearing field of two results,
+// including the returned graph's canonical fingerprint.
+func equalResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Initial != want.Initial || got.Improved != want.Improved {
+		t.Fatalf("%s: objective %d→%d, want %d→%d", label, got.Initial, got.Improved, want.Initial, want.Improved)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d, want %d", label, got.Evaluations, want.Evaluations)
+	}
+	if len(got.Moves) != len(want.Moves) {
+		t.Fatalf("%s: %d accepted moves, want %d\n got: %v\nwant: %v", label, len(got.Moves), len(want.Moves), got.Moves, want.Moves)
+	}
+	for i := range got.Moves {
+		if got.Moves[i] != want.Moves[i] {
+			t.Fatalf("%s: move[%d] = %v, want %v", label, i, got.Moves[i], want.Moves[i])
+		}
+	}
+	if gf, wf := got.Best.Fingerprint(), want.Best.Fingerprint(); gf != wf {
+		t.Fatalf("%s: best graph fingerprint %s, want %s", label, gf, wf)
+	}
+}
+
+// TestScalarizedBitIdenticalToReference is the refactor's pin: over the
+// 216-instance corpus, hill climbing and annealing through the layered
+// move/objective implementation — warm replay, worker pools, restart
+// parallelism rotating across instances — reproduce the sequential cold
+// reference bit for bit.
+func TestScalarizedBitIdenticalToReference(t *testing.T) {
+	ctx := context.Background()
+	corpus := diffCorpus()
+	if len(corpus) != 216 {
+		t.Fatalf("corpus has %d instances, want 216", len(corpus))
+	}
+	for ci, p := range corpus {
+		g := gen.MustLayered(p)
+		label := fmt.Sprintf("corpus[%d] %dx%d %dc%db shared=%v seed=%d",
+			ci, p.Layers, p.LayerSize, p.Cores, p.Banks, p.SharedBank, p.Seed)
+
+		// Hill climb: jobs level and warm-start rotate across instances;
+		// neither may change a single decision.
+		hcOpts := Options{
+			Sched:            corpusOpts(ci),
+			MaxEvaluations:   40,
+			Jobs:             1 + ci%4,
+			DisableWarmStart: ci%5 == 0,
+		}
+		want, err := refHillClimb(g, hcOpts)
+		if err != nil {
+			t.Fatalf("%s: refHillClimb: %v", label, err)
+		}
+		got, err := HillClimb(ctx, g, hcOpts)
+		if err != nil {
+			t.Fatalf("%s: HillClimb: %v", label, err)
+		}
+		equalResult(t, label+" hillclimb", got, want)
+
+		// Annealing: restart count, jobs level, and seed rotate.
+		anOpts := Options{
+			Sched:          corpusOpts(ci + 1),
+			MaxEvaluations: 30,
+			Seed:           int64(ci),
+			Restarts:       1 + ci%3,
+			Jobs:           1 + ci%3,
+		}
+		wantA, err := refAnneal(g, anOpts)
+		if err != nil {
+			t.Fatalf("%s: refAnneal: %v", label, err)
+		}
+		gotA, err := Anneal(ctx, g, anOpts)
+		if err != nil {
+			t.Fatalf("%s: Anneal: %v", label, err)
+		}
+		equalResult(t, label+" anneal", gotA, wantA)
+	}
+}

@@ -7,19 +7,31 @@
 // schedules becomes routine. The ablation benchmark quantifies exactly
 // that enablement.
 //
-// The search space: for a fixed mapping, each core's execution order may be
-// any linearization of its tasks consistent with the dependency DAG. Moves
-// swap two adjacent tasks of one core when the swap does not contradict a
-// dependency; the objective is the analyzed makespan. Two searchers are
-// provided: greedy hill climbing and simulated annealing (deterministic,
-// seeded). Both can spread their candidate evaluations over a bounded
+// The package is the scalarized search layer of the layered framework:
+//
+//   - internal/explore/move — typed, undoable edits (order swaps, task
+//     remapping, bank-policy flips) over a shared engine.Image, plus the
+//     Evaluator that analyzes whatever configuration a move walk reaches;
+//   - internal/explore/objective — pluggable scoring of analyzed
+//     candidates (makespan, peak per-bank interference, bank-load
+//     variance, communication affinity);
+//   - this package — greedy hill climbing and simulated annealing walking
+//     adjacent-swap moves against one exact-integer objective;
+//   - internal/explore/pareto — NSGA-II multi-objective portfolio search
+//     over the full move set, reporting Pareto fronts.
+//
+// The search space here: for a fixed mapping, each core's execution order
+// may be any linearization of its tasks consistent with the dependency DAG.
+// Moves swap two adjacent tasks of one core when the swap does not
+// contradict a dependency; the objective defaults to the analyzed makespan.
+// Both searchers can spread their candidate evaluations over a bounded
 // worker pool (Options.Jobs) without changing any reported result: each
 // analysis instance stays single-threaded, and the search decisions are
 // functions of submission order, never completion order.
 //
 // The search compiles its graph into one immutable engine.Image shared by
-// every worker. Each worker owns a warm analyzer over that image — a
-// mutable order overlay permuted in place by apply/undo swaps, plus an
+// every worker. Each worker owns a move.Evaluator over that image — a
+// mutable order overlay permuted in place by apply/undo moves, plus an
 // incremental scheduler whose checkpoints let a neighbor that differs from
 // the incumbent by an adjacent swap replay only the schedule suffix behind
 // the swapped position instead of re-analyzing from t=0. No graph is ever
@@ -38,6 +50,8 @@ import (
 	"math/rand"
 
 	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/explore/move"
+	"github.com/mia-rt/mia/internal/explore/objective"
 	"github.com/mia-rt/mia/internal/model"
 	"github.com/mia-rt/mia/internal/pool"
 	"github.com/mia-rt/mia/internal/sched"
@@ -48,6 +62,11 @@ import (
 type Options struct {
 	// Sched is passed to every evaluation (arbiter, merging, ...).
 	Sched sched.Options
+	// Objective is the exact-integer objective the search minimizes; nil
+	// means the analyzed makespan. Scalar (not float) by design: accept
+	// decisions compare exact model.Cycles, so results cannot pick up
+	// rounding at any magnitude.
+	Objective objective.Scalar
 	// MaxEvaluations bounds the number of schedules analyzed (default
 	// 1000).
 	MaxEvaluations int
@@ -87,11 +106,19 @@ func (o Options) maxEvals() int {
 	return o.MaxEvaluations
 }
 
+func (o Options) objective() objective.Scalar {
+	if o.Objective == nil {
+		return objective.Makespan{}
+	}
+	return o.Objective
+}
+
 // Result reports a search outcome.
 type Result struct {
 	// Best is the improved graph (a fresh graph; the input is untouched).
 	Best *model.Graph
-	// Initial and Improved are the makespans before and after.
+	// Initial and Improved are the objective values (default: makespans)
+	// before and after.
 	Initial  model.Cycles
 	Improved model.Cycles
 	// Evaluations counts analyzed candidates (including rejected ones,
@@ -103,7 +130,7 @@ type Result struct {
 	Moves [][2]int
 }
 
-// Gain returns the relative makespan reduction in percent.
+// Gain returns the relative objective reduction in percent.
 func (r *Result) Gain() float64 {
 	if r.Initial == 0 {
 		return 0
@@ -115,137 +142,18 @@ func (r *Result) Gain() float64 {
 // (registered by the blank import above).
 func searchEngine() *engine.Engine { return engine.MustNew(engine.Incremental) }
 
-// maxPendingEdits is the number of divergence sites an evaluator tolerates
-// between its order overlay and its scheduler's checkpoint baseline before
-// rebasing with a cold run. Two sites cover the steady state of both
-// searches (the last accepted move plus the candidate under evaluation);
-// beyond that, each extra site can only push the restart checkpoint
-// earlier, so a rebase — whose cold run doubles as the candidate's
-// evaluation — is the better deal.
-const maxPendingEdits = 2
-
-// evaluator owns one worker's long-lived analysis resources: a warm
-// analyzer over the search's shared image, whose private order overlay is
-// permuted in place by apply/undo swaps and whose checkpoints are reused
-// across the candidate evaluations the worker performs. Results do not
-// depend on which evaluator analyzed a candidate — warm replays are
-// bit-identical to cold runs — which is what keeps the searches
-// deterministic at every jobs level.
-type evaluator struct {
-	w       engine.Warm
-	ord     *engine.Orders
-	disable bool
-
-	warm bool // w's checkpoints describe baseOrder
-	// baseOrder mirrors the overlay's per-core orders as of the last
-	// rebase (the scheduler's checkpoint baseline); divergence diffs the
-	// overlay against it.
-	baseOrder [][]model.TaskID
-	edits     []engine.Edit
-}
-
-// newEvaluator builds one worker's analyzer over the shared image.
-func newEvaluator(img *engine.Image, opts Options) *evaluator {
-	w := searchEngine().NewWarm(img)
-	e := &evaluator{w: w, ord: w.Orders(), disable: opts.DisableWarmStart}
-	if !e.disable {
-		e.baseOrder = make([][]model.TaskID, img.Cores)
-	}
-	return e
-}
-
-// evaluate analyzes the evaluator's overlay as currently ordered, returning
-// Infinity for unschedulable candidates. With warm-start enabled it replays
-// from the nearest checkpoint unaffected by the order positions that changed
-// since the last rebase, and rebases cold when the divergence grows beyond
-// what replay exploits well.
-func (e *evaluator) evaluate(ctx context.Context) model.Cycles {
-	if e.disable {
-		res, err := e.w.AnalyzeCold(ctx)
-		if err != nil {
-			return model.Infinity
-		}
-		return res.Makespan
-	}
-	if e.warm {
-		edits := e.divergence()
-		if len(edits) <= maxPendingEdits {
-			res, err := e.w.Reschedule(ctx, edits...)
-			if err != nil {
-				return model.Infinity // baseline checkpoints stay valid
-			}
-			return res.Makespan
-		}
-	}
-	// Cold run doubling as a rebase: it records fresh checkpoints for the
-	// overlay as currently ordered, so the work is the candidate's
-	// evaluation and the new baseline in one pass.
-	res, err := e.w.Analyze(ctx)
-	if err != nil {
-		e.warm = false
+// cost scalarizes one analyzed candidate: the objective's exact integer
+// value, Infinity for unschedulable candidates.
+func cost(obj objective.Scalar, e objective.Eval) model.Cycles {
+	if !e.Valid() {
 		return model.Infinity
 	}
-	e.warm = true
-	e.rebase()
-	return res.Makespan
-}
-
-// swapEval evaluates the neighbor reached by one adjacent swap, leaving the
-// evaluator's overlay as it found it.
-func (e *evaluator) swapEval(ctx context.Context, mv [2]int) model.Cycles {
-	e.ord.Swap(model.CoreID(mv[0]), mv[1])
-	m := e.evaluate(ctx)
-	e.ord.Swap(model.CoreID(mv[0]), mv[1])
-	return m
-}
-
-// accept applies a move the search committed to, so the evaluator's overlay
-// keeps tracking the incumbent, and eagerly rebases the checkpoint baseline
-// onto it. Without the rebase every later candidate would carry the accepted
-// move as a second divergence site, forcing replays to restart before the
-// *earlier* of the two positions; one cold run here amortizes over the whole
-// next neighborhood and keeps each candidate single-edit.
-func (e *evaluator) accept(ctx context.Context, mv [2]int) {
-	e.ord.Swap(model.CoreID(mv[0]), mv[1])
-	if e.disable {
-		return
-	}
-	if _, err := e.w.Analyze(ctx); err == nil {
-		e.warm = true
-		e.rebase()
-	} else {
-		e.warm = false // next evaluate rebases via its cold run
-	}
-}
-
-// rebase records the overlay's current orders as the scheduler's checkpoint
-// baseline.
-func (e *evaluator) rebase() {
-	for k := range e.baseOrder {
-		e.baseOrder[k] = append(e.baseOrder[k][:0], e.ord.Order(model.CoreID(k))...)
-	}
-}
-
-// divergence lists, per core, the first order position where the overlay
-// differs from the checkpoint baseline. Diffing against the baseline —
-// rather than logging mutations — makes apply/undo pairs cancel exactly, so
-// the steady state of a neighborhood sweep stays at one or two sites.
-func (e *evaluator) divergence() []engine.Edit {
-	e.edits = e.edits[:0]
-	for k := range e.baseOrder {
-		cur, base := e.ord.Order(model.CoreID(k)), e.baseOrder[k]
-		for i := range cur {
-			if cur[i] != base[i] {
-				e.edits = append(e.edits, engine.Edit{Core: model.CoreID(k), From: i})
-				break
-			}
-		}
-	}
-	return e.edits
+	return obj.Cost(e)
 }
 
 // orderSource is any holder of per-core execution orders the move
-// enumeration can read — a mutable graph or an engine order overlay.
+// enumeration can read — a mutable graph, an engine order overlay, or a
+// move.State.
 type orderSource interface {
 	Order(k model.CoreID) []model.TaskID
 }
@@ -300,8 +208,12 @@ func replayMoves(img *engine.Image, moves [][2]int) *model.Graph {
 	return g
 }
 
+// asSwap converts the search's (core, position) pair into the move layer's
+// typed form.
+func asSwap(mv [2]int) move.Swap { return move.Swap{Core: model.CoreID(mv[0]), Pos: mv[1]} }
+
 // HillClimb repeatedly applies the best improving adjacent swap until no
-// swap improves the makespan or the evaluation budget is exhausted.
+// swap improves the objective or the evaluation budget is exhausted.
 //
 // With Options.Jobs > 1, each round's candidate neighborhood is evaluated
 // concurrently on the worker pool. The outcome is identical to the
@@ -309,10 +221,10 @@ func replayMoves(img *engine.Image, moves [][2]int) *model.Graph {
 // before any evaluation starts, results come back indexed by candidate,
 // and the applied move is the first maximal-gain candidate in that order —
 // none of which depends on evaluation completion order. Each worker owns
-// one evaluator (order overlay + warm scheduler over the shared image) for
-// the whole search; accepted moves are applied to every overlay between
-// rounds, so neighbors are always one swap away from a checkpointed
-// baseline.
+// one move.Evaluator (order overlay + warm scheduler over the shared
+// image) for the whole search; accepted moves are applied to every
+// evaluator between rounds, so neighbors are always one swap away from a
+// checkpointed baseline.
 //
 // Cancellation flows from ctx: between rounds the search stops with
 // ctx.Err(), and a cancellation during a round is reported by the worker
@@ -322,18 +234,20 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	obj := opts.objective()
 	workers := opts.Jobs
 	if workers < 1 {
 		workers = 1
 	}
-	evs := make([]*evaluator, workers)
+	evs := make([]*move.Evaluator, workers)
 	for w := range evs {
-		evs[w] = newEvaluator(img, opts)
+		evs[w] = move.NewEvaluator(img, searchEngine(), opts.DisableWarmStart)
+		defer evs[w].Close()
 	}
 	// inc is the incumbent's order state, mirrored by every evaluator's
 	// overlay as moves are accepted.
 	inc := img.NewOrders()
-	base := evs[0].evaluate(ctx)
+	base := cost(obj, evs[0].Evaluate(ctx))
 	if base == model.Infinity {
 		return nil, fmt.Errorf("explore: initial order is unschedulable")
 	}
@@ -356,9 +270,13 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		makespans, err := pool.MapWith(ctx, evs, len(cands),
-			func(c context.Context, ev *evaluator, i int) (model.Cycles, error) {
-				return ev.swapEval(c, cands[i]), nil
+		costs, err := pool.MapWith(ctx, evs, len(cands),
+			func(c context.Context, ev *move.Evaluator, i int) (model.Cycles, error) {
+				e, err := ev.MoveEval(c, asSwap(cands[i]))
+				if err != nil {
+					return 0, err
+				}
+				return cost(obj, e), nil
 			})
 		if err != nil {
 			return nil, err
@@ -366,7 +284,7 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 		res.Evaluations += len(cands)
 		bestGain := model.Cycles(0)
 		bestMove := [2]int{-1, -1}
-		for i, m := range makespans {
+		for i, m := range costs {
 			if res.Improved-m > bestGain {
 				bestGain = res.Improved - m
 				bestMove = cands[i]
@@ -377,7 +295,9 @@ func HillClimb(ctx context.Context, g *model.Graph, opts Options) (*Result, erro
 		}
 		inc.Swap(model.CoreID(bestMove[0]), bestMove[1])
 		for _, ev := range evs {
-			ev.accept(ctx, bestMove)
+			if err := ev.Accept(ctx, asSwap(bestMove)); err != nil {
+				return nil, err
+			}
 		}
 		res.Improved -= bestGain
 		res.Moves = append(res.Moves, bestMove)
@@ -435,7 +355,7 @@ func Anneal(ctx context.Context, g *model.Graph, opts Options) (*Result, error) 
 }
 
 // chain is one annealing walk's outcome: the result plus the length of the
-// accepted-move prefix that reaches the best makespan ever seen (the walk
+// accepted-move prefix that reaches the best objective ever seen (the walk
 // may accept worsening moves after it).
 type chain struct {
 	res     *Result
@@ -443,15 +363,18 @@ type chain struct {
 }
 
 // annealChain is one seeded annealing walk — the pre-parallelism Anneal.
-// The chain owns a single evaluator over the shared image: the walk
-// permutes the evaluator's order overlay in place (accepted swaps stay,
-// rejected swaps are undone) and each candidate is analyzed warm from the
-// last rebased baseline. The best schedule is recorded as a prefix of the
-// accepted-move log, not as a graph clone; Anneal materializes the winning
-// graph once.
+// The chain owns a single move.Evaluator over the shared image: the walk
+// permutes the evaluator's state in place (accepted swaps are committed,
+// rejected swaps undone through the journal) and each candidate is
+// analyzed warm from the last rebased baseline. The best schedule is
+// recorded as a prefix of the accepted-move log, not as a graph clone;
+// Anneal materializes the winning graph once.
 func annealChain(ctx context.Context, img *engine.Image, opts Options) (chain, error) {
-	ev := newEvaluator(img, opts)
-	curCost := ev.evaluate(ctx)
+	obj := opts.objective()
+	ev := move.NewEvaluator(img, searchEngine(), opts.DisableWarmStart)
+	defer ev.Close()
+	st := ev.State()
+	curCost := cost(obj, ev.Evaluate(ctx))
 	if curCost == model.Infinity {
 		return chain{}, fmt.Errorf("explore: initial order is unschedulable")
 	}
@@ -475,7 +398,7 @@ func annealChain(ctx context.Context, img *engine.Image, opts Options) (chain, e
 		if err := ctx.Err(); err != nil {
 			return chain{}, err
 		}
-		moves := ms.legal(ev.ord)
+		moves := ms.legal(st)
 		if len(moves) == 0 {
 			break
 		}
@@ -483,11 +406,17 @@ func annealChain(ctx context.Context, img *engine.Image, opts Options) (chain, e
 		// No re-validation after the swap: legal adjacent swaps preserve
 		// Validate-validity on a valid incumbent (see HillClimb), and a
 		// cross-core deadlock simply evaluates to Infinity and is rejected.
-		ev.ord.Swap(model.CoreID(mv[0]), mv[1])
-		cand := ev.evaluate(ctx)
+		sw := asSwap(mv)
+		if err := st.Apply(sw); err != nil {
+			return chain{}, err
+		}
+		cand := cost(obj, ev.Evaluate(ctx))
 		res.Evaluations++
 		delta := float64(cand - curCost)
 		if delta <= 0 || (temperature > 0 && rng.Float64() < math.Exp(-delta/temperature)) {
+			if err := st.Commit(sw); err != nil {
+				return chain{}, err
+			}
 			curCost = cand
 			res.Moves = append(res.Moves, mv)
 			if cand < res.Improved {
@@ -495,7 +424,9 @@ func annealChain(ctx context.Context, img *engine.Image, opts Options) (chain, e
 				c.bestLen = len(res.Moves)
 			}
 		} else {
-			ev.ord.Swap(model.CoreID(mv[0]), mv[1]) // reject
+			if err := st.Undo(sw); err != nil {
+				return chain{}, err
+			}
 		}
 		temperature *= cooling
 	}

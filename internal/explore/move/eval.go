@@ -1,0 +1,213 @@
+package move
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/explore/objective"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// maxPendingEdits is the number of divergence sites an evaluator tolerates
+// between its order overlay and its scheduler's checkpoint baseline before
+// rebasing with a cold run. Two sites cover the steady state of every
+// search (the last accepted move plus the candidate under evaluation);
+// beyond that, each extra site can only push the restart checkpoint
+// earlier, so a rebase — whose cold run doubles as the candidate's
+// evaluation — is the better deal.
+const maxPendingEdits = 2
+
+// Evaluator owns one worker's long-lived analysis resources: a warm
+// analyzer over the search's shared image, whose private order overlay
+// doubles as the worker's State, plus the engine used to analyze
+// recompiled structural candidates cold. Results do not depend on which
+// evaluator analyzed a candidate — warm replays are bit-identical to cold
+// runs, and structural candidates are compiled and analyzed from scratch —
+// which is what keeps the searches deterministic at every jobs level.
+type Evaluator struct {
+	eng     *engine.Engine
+	img     *engine.Image // current committed image (rebinds on structural commits)
+	w       engine.Warm
+	st      *State
+	disable bool
+
+	warm bool // w's checkpoints describe baseOrder
+	// baseOrder mirrors the overlay's per-core orders as of the last
+	// rebase (the scheduler's checkpoint baseline); divergence diffs the
+	// overlay against it.
+	baseOrder [][]model.TaskID
+	edits     []engine.Edit
+}
+
+// NewEvaluator builds one worker's analyzer over the shared image.
+// disableWarm forces every order-only evaluation to run cold from t=0 —
+// bit-identical results, differential-oracle/benchmark-baseline use only.
+func NewEvaluator(img *engine.Image, eng *engine.Engine, disableWarm bool) *Evaluator {
+	w := eng.NewWarm(img)
+	e := &Evaluator{eng: eng, img: img, w: w, disable: disableWarm}
+	e.st = newState(img, w.Orders())
+	if !e.disable {
+		e.baseOrder = make([][]model.TaskID, img.Cores)
+	}
+	return e
+}
+
+// State returns the evaluator's mutable design-space state. Searches apply,
+// undo, and commit moves through it; the evaluator analyzes whatever
+// configuration it currently describes.
+func (e *Evaluator) State() *State { return e.st }
+
+// Image returns the evaluator's current committed image. It changes when a
+// structural configuration is committed (Rebase recompiles and rebinds).
+func (e *Evaluator) Image() *engine.Image { return e.img }
+
+// Close releases the warm analyzer's non-memory resources (parked kernel
+// workers). The evaluator must not be used afterwards.
+func (e *Evaluator) Close() { engine.CloseWarm(e.w) }
+
+// Evaluate analyzes the state's current configuration, returning an eval
+// whose Res is nil for unschedulable (or structurally invalid) candidates.
+// Order-only configurations replay warm from the nearest checkpoint
+// unaffected by the positions that diverged since the last rebase, rebasing
+// cold when the divergence grows beyond what replay exploits well;
+// structural configurations are recompiled and analyzed cold.
+func (e *Evaluator) Evaluate(ctx context.Context) objective.Eval {
+	if e.st.Structural() {
+		img, err := engine.Compile(e.st.g, e.img.Opts)
+		if err != nil {
+			// Invalid structure (e.g. an order-inconsistent remap
+			// position): scored unschedulable, like a deadlocked order.
+			return objective.Eval{Img: e.img}
+		}
+		res, err := e.eng.Analyze(ctx, img)
+		if err != nil {
+			return objective.Eval{Img: img}
+		}
+		return objective.Eval{Img: img, Res: res}
+	}
+	if e.disable {
+		res, err := e.w.AnalyzeCold(ctx)
+		if err != nil {
+			return objective.Eval{Img: e.img}
+		}
+		return objective.Eval{Img: e.img, Res: res}
+	}
+	if e.warm {
+		edits := e.divergence()
+		if len(edits) <= maxPendingEdits {
+			res, err := e.w.Reschedule(ctx, edits...)
+			if err != nil {
+				return objective.Eval{Img: e.img} // baseline checkpoints stay valid
+			}
+			return objective.Eval{Img: e.img, Res: res}
+		}
+	}
+	// Cold run doubling as a rebase: it records fresh checkpoints for the
+	// overlay as currently ordered, so the work is the candidate's
+	// evaluation and the new baseline in one pass.
+	res, err := e.w.Analyze(ctx)
+	if err != nil {
+		e.warm = false
+		return objective.Eval{Img: e.img}
+	}
+	e.warm = true
+	e.rebase()
+	return objective.Eval{Img: e.img, Res: res}
+}
+
+// MoveEval evaluates the neighbor reached by one move, leaving the state as
+// it found it. Apply errors surface as an invalid eval plus the error.
+func (e *Evaluator) MoveEval(ctx context.Context, mv Move) (objective.Eval, error) {
+	if err := e.st.Apply(mv); err != nil {
+		return objective.Eval{Img: e.img}, err
+	}
+	ev := e.Evaluate(ctx)
+	if err := e.st.Undo(mv); err != nil {
+		return objective.Eval{Img: e.img}, err
+	}
+	return ev, nil
+}
+
+// Accept applies a move the search committed to and eagerly rebases the
+// analysis baseline onto the new incumbent: order-only commits re-anchor
+// the warm checkpoints with one cold run that amortizes over the whole next
+// neighborhood (keeping each later candidate single-edit); structural
+// commits recompile the edited graph and rebind the evaluator to the new
+// image. Accept requires an empty journal — accepting over uncommitted
+// moves is exactly the divergence bug the journal exists to catch.
+func (e *Evaluator) Accept(ctx context.Context, mv Move) error {
+	if p := e.st.Pending(); p != 0 {
+		return fmt.Errorf("move: Accept(%v): %d uncommitted move(s) pending — undo or commit them first (accepting over a diverged overlay)", mv, p)
+	}
+	if err := e.st.Apply(mv); err != nil {
+		return err
+	}
+	if err := e.st.Commit(mv); err != nil {
+		return err
+	}
+	return e.Rebase(ctx)
+}
+
+// Rebase re-anchors the evaluator on the state's committed configuration
+// after Commit-without-Accept flows (annealing-style lazy acceptance calls
+// it never; divergence tracking absorbs order commits there). Structural
+// committed state is recompiled into a fresh image and the evaluator
+// rebinds its warm analyzer to it; a compile failure means the search
+// committed an invalid configuration, which is a caller bug and an error.
+func (e *Evaluator) Rebase(ctx context.Context) error {
+	if e.st.Structural() {
+		if p := e.st.Pending(); p != 0 {
+			return fmt.Errorf("move: Rebase: %d uncommitted move(s) pending on a structural state", p)
+		}
+		img, err := engine.Compile(e.st.g, e.img.Opts)
+		if err != nil {
+			return fmt.Errorf("move: Rebase: committed structural state does not compile: %w", err)
+		}
+		engine.CloseWarm(e.w)
+		e.img = img
+		e.w = e.eng.NewWarm(img)
+		e.st.rebind(img, e.w.Orders())
+		e.warm = false
+		if !e.disable {
+			e.baseOrder = make([][]model.TaskID, img.Cores)
+		}
+		return nil
+	}
+	if e.disable {
+		return nil
+	}
+	if _, err := e.w.Analyze(ctx); err == nil {
+		e.warm = true
+		e.rebase()
+	} else {
+		e.warm = false // next Evaluate rebases via its cold run
+	}
+	return nil
+}
+
+// rebase records the overlay's current orders as the scheduler's checkpoint
+// baseline.
+func (e *Evaluator) rebase() {
+	for k := range e.baseOrder {
+		e.baseOrder[k] = append(e.baseOrder[k][:0], e.st.ord.Order(model.CoreID(k))...)
+	}
+}
+
+// divergence lists, per core, the first order position where the overlay
+// differs from the checkpoint baseline. Diffing against the baseline —
+// rather than logging mutations — makes apply/undo pairs cancel exactly, so
+// the steady state of a neighborhood sweep stays at one or two sites.
+func (e *Evaluator) divergence() []engine.Edit {
+	e.edits = e.edits[:0]
+	for k := range e.baseOrder {
+		cur, base := e.st.ord.Order(model.CoreID(k)), e.baseOrder[k]
+		for i := range cur {
+			if cur[i] != base[i] {
+				e.edits = append(e.edits, engine.Edit{Core: model.CoreID(k), From: i})
+				break
+			}
+		}
+	}
+	return e.edits
+}

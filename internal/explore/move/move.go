@@ -1,0 +1,227 @@
+// Package move is the bottom layer of the design-space search framework:
+// typed, undoable edits over one shared engine.Image. A search holds a
+// State per worker, applies Moves to walk the design space, undoes the ones
+// it rejects, and commits the ones it accepts; the Evaluator in this
+// package analyzes whatever configuration the State currently describes —
+// warm through the image's order overlay when only orders changed, via
+// recompile+cold analysis when the structure (mapping, bank policy) did.
+//
+// Three move kinds cover the design space the ROADMAP's search items call
+// for:
+//
+//   - Swap — exchange two adjacent tasks of one core's execution order
+//     (the pre-framework explorer's only move). Order-only: the image's
+//     per-core order overlay absorbs it and warm replay applies.
+//   - Remap — migrate a task to another core at a chosen order position.
+//     Structural: per-core order lengths change and per-bank demands must
+//     be re-derived, so the candidate needs a recompile.
+//   - SetPolicy — switch the bank-assignment policy (shared / per-core /
+//     striped). Structural: every task's demand vector is re-derived.
+//
+// Moves are small comparable values. The State keeps an explicit LIFO
+// journal of applied moves: Undo and Commit name the move they expect on
+// top and fail loudly when the caller's bookkeeping diverged from the
+// actual overlay state — the silent-divergence failure mode of the old
+// eager-rebase/undo path is now a returned error, never a wrong result.
+package move
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// Move is one typed, undoable edit of a search State. Implementations are
+// small comparable values (the journal matches them by equality) and do not
+// carry undo state — apply returns the undo closure, capturing exactly what
+// it changed.
+type Move interface {
+	fmt.Stringer
+	// structural reports whether the move invalidates the compiled image
+	// (mapping or demand changes), as opposed to permuting per-core orders
+	// only.
+	structural() bool
+	// apply performs the edit on st and returns the closure that reverts
+	// it. It must either complete the edit fully or return an error having
+	// changed nothing.
+	apply(st *State) (undo func(*State), err error)
+}
+
+// Swap exchanges the tasks at positions Pos and Pos+1 of core Core's
+// execution order — the adjacent-swap move warm replay is built around.
+type Swap struct {
+	Core model.CoreID
+	Pos  int
+}
+
+// String implements fmt.Stringer.
+func (m Swap) String() string { return fmt.Sprintf("swap(core=%d, pos=%d)", m.Core, m.Pos) }
+
+func (m Swap) structural() bool { return false }
+
+func (m Swap) apply(st *State) (func(*State), error) {
+	if m.Core < 0 || int(m.Core) >= st.img.Cores {
+		return nil, fmt.Errorf("move: %v: core out of range (platform has %d cores)", m, st.img.Cores)
+	}
+	order := st.Order(m.Core)
+	if m.Pos < 0 || m.Pos+1 >= len(order) {
+		return nil, fmt.Errorf("move: %v: position out of range (core has %d tasks)", m, len(order))
+	}
+	st.swap(m.Core, m.Pos)
+	return func(st *State) { st.swap(m.Core, m.Pos) }, nil
+}
+
+// Remap migrates task Task to core To, inserted at position At of To's
+// execution order (0 ≤ At ≤ len(order(To)); positions count after the task
+// left its old core). Structural: the per-core order partition and the
+// per-bank demand vectors both change, so candidates carrying a Remap are
+// evaluated by recompile + cold analysis. Dependency consistency of the
+// insertion position is not checked here; an inconsistent choice fails
+// image compilation and the evaluator scores the candidate unschedulable.
+type Remap struct {
+	Task model.TaskID
+	To   model.CoreID
+	At   int
+}
+
+// String implements fmt.Stringer.
+func (m Remap) String() string {
+	return fmt.Sprintf("remap(task=%d, to=%d, at=%d)", m.Task, m.To, m.At)
+}
+
+func (m Remap) structural() bool { return true }
+
+func (m Remap) apply(st *State) (func(*State), error) {
+	if m.Task < 0 || int(m.Task) >= st.img.NumTasks {
+		return nil, fmt.Errorf("move: %v: task out of range (graph has %d tasks)", m, st.img.NumTasks)
+	}
+	if m.To < 0 || int(m.To) >= st.img.Cores {
+		return nil, fmt.Errorf("move: %v: target core out of range (platform has %d cores)", m, st.img.Cores)
+	}
+	g := st.graph()
+	t := g.Task(m.Task)
+	from := t.Core
+	if from == m.To {
+		return nil, fmt.Errorf("move: %v: task already on core %d (reorder with Swap instead)", m, from)
+	}
+	if m.At < 0 || m.At > len(g.Order(m.To)) {
+		return nil, fmt.Errorf("move: %v: position out of range (core %d has %d tasks)", m, m.To, len(g.Order(m.To)))
+	}
+	fromPos := -1
+	for i, id := range g.Order(from) {
+		if id == m.Task {
+			fromPos = i
+			break
+		}
+	}
+	if fromPos < 0 {
+		return nil, fmt.Errorf("move: %v: task missing from core %d's order (corrupt state)", m, from)
+	}
+	tab := bankTableOf(g)
+	migrate(g, m.Task, from, fromPos, m.To, m.At, tab)
+	return func(st *State) { migrate(st.g, m.Task, m.To, m.At, from, fromPos, tab) }, nil
+}
+
+// migrate moves task id from position fromPos of core from's order to
+// position at of core to's order, updates the task's mapping, and
+// re-derives every demand vector under the (unchanged) bank table — the
+// consumer cores of the task's edges moved, so the producers' per-bank
+// charges move with them. Called with swapped src/dst arguments it is its
+// own inverse: CompileDemands is a pure function of (tasks, edges, policy).
+func migrate(g *model.Graph, id model.TaskID, from model.CoreID, fromPos int, to model.CoreID, at int, tab []model.BankID) {
+	src := g.Order(from)
+	newSrc := make([]model.TaskID, 0, len(src)-1)
+	newSrc = append(newSrc, src[:fromPos]...)
+	newSrc = append(newSrc, src[fromPos+1:]...)
+	dst := g.Order(to)
+	newDst := make([]model.TaskID, 0, len(dst)+1)
+	newDst = append(newDst, dst[:at]...)
+	newDst = append(newDst, id)
+	newDst = append(newDst, dst[at:]...)
+	g.SetOrder(from, newSrc)
+	g.SetOrder(to, newDst)
+	g.Task(id).Core = to
+	g.CompileDemands(tableFunc(tab))
+}
+
+// Policy identifies a bank-assignment policy a SetPolicy move can switch
+// to. The three values mirror the model package's policy functions; Striped
+// and PerCore coincide when the platform has at least one bank per core
+// (CompileDemands folds the table modulo the bank count either way).
+type Policy int
+
+const (
+	// Shared maps every core to bank 0 — maximal contention.
+	Shared Policy = iota
+	// PerCore reserves bank k (mod banks) for core k.
+	PerCore
+	// Striped maps core k to bank k mod banks.
+	Striped
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Shared:
+		return "shared"
+	case PerCore:
+		return "per-core"
+	case Striped:
+		return "striped"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Table materializes the policy as an explicit core→bank table. Searches
+// and moves always work from tables, never from policy closures: a closure
+// reading live graph state (the g.CompileDemands(g.BankOf) trap) would
+// observe its own partial updates.
+func (p Policy) Table(cores, banks int) []model.BankID {
+	tab := make([]model.BankID, cores)
+	for k := range tab {
+		switch p {
+		case Shared:
+			tab[k] = 0
+		default: // PerCore and Striped both stripe modulo the bank count
+			tab[k] = model.BankID(k % banks)
+		}
+	}
+	return tab
+}
+
+// SetPolicy switches the bank-assignment policy and re-derives every
+// task's per-bank demand vector. Structural: the demand matrix baked into
+// the compiled image changes.
+type SetPolicy struct {
+	Policy Policy
+}
+
+// String implements fmt.Stringer.
+func (m SetPolicy) String() string { return fmt.Sprintf("set-policy(%v)", m.Policy) }
+
+func (m SetPolicy) structural() bool { return true }
+
+func (m SetPolicy) apply(st *State) (func(*State), error) {
+	if m.Policy < Shared || m.Policy > Striped {
+		return nil, fmt.Errorf("move: %v: unknown policy", m)
+	}
+	g := st.graph()
+	oldTab := bankTableOf(g)
+	g.CompileDemands(tableFunc(m.Policy.Table(g.Cores, g.Banks)))
+	return func(st *State) { st.g.CompileDemands(tableFunc(oldTab)) }, nil
+}
+
+// bankTableOf snapshots the graph's current core→bank assignment into an
+// explicit table.
+func bankTableOf(g *model.Graph) []model.BankID {
+	tab := make([]model.BankID, g.Cores)
+	for k := range tab {
+		tab[k] = g.BankOf(model.CoreID(k))
+	}
+	return tab
+}
+
+// tableFunc adapts a snapshot table to the CompileDemands callback shape.
+func tableFunc(tab []model.BankID) func(model.CoreID) model.BankID {
+	return func(k model.CoreID) model.BankID { return tab[k] }
+}

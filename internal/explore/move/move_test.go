@@ -1,0 +1,475 @@
+package move
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/gen"
+	"github.com/mia-rt/mia/internal/model"
+	"github.com/mia-rt/mia/internal/sched"
+	_ "github.com/mia-rt/mia/internal/sched/incremental" // registers the "incremental" backend
+)
+
+func testEngine() *engine.Engine { return engine.MustNew(engine.Incremental) }
+
+// twoCoreGraph builds a small 2-core graph with reorderable tasks on both
+// cores and one cross-core edge.
+func twoCoreGraph(t testing.TB) *model.Graph {
+	t.Helper()
+	b := model.NewBuilder(2, 2)
+	a := b.AddTask(model.TaskSpec{Name: "a", WCET: 10, Core: 0, Local: 4})
+	x := b.AddTask(model.TaskSpec{Name: "x", WCET: 50, Core: 0, Local: 3})
+	y := b.AddTask(model.TaskSpec{Name: "y", WCET: 50, Core: 0, Local: 2})
+	c := b.AddTask(model.TaskSpec{Name: "c", WCET: 30, Core: 1, Local: 2})
+	d := b.AddTask(model.TaskSpec{Name: "d", WCET: 20, Core: 1, Local: 5})
+	b.AddEdge(a, c, 7)
+	_ = d
+	b.SetOrder(0, []model.TaskID{x, y, a})
+	return b.MustBuild()
+}
+
+func compile(t testing.TB, g *model.Graph) *engine.Image {
+	t.Helper()
+	img, err := engine.Compile(g, sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return img
+}
+
+// identical asserts two schedules match bit-for-bit, per-bank splits
+// included.
+func identical(t *testing.T, label string, got, want *sched.Result) {
+	t.Helper()
+	if d := got.Diff(want); d != "" {
+		t.Fatalf("%s: schedules diverge: %s", label, d)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("%s: makespan %d vs %d", label, got.Makespan, want.Makespan)
+	}
+	for i := range got.Interference {
+		if got.Interference[i] != want.Interference[i] {
+			t.Fatalf("%s: task %d interference %d vs %d", label, i, got.Interference[i], want.Interference[i])
+		}
+		for bk := range got.PerBank[i] {
+			if got.PerBank[i][bk] != want.PerBank[i][bk] {
+				t.Fatalf("%s: task %d bank %d: %d vs %d", label, i, bk, got.PerBank[i][bk], want.PerBank[i][bk])
+			}
+		}
+	}
+}
+
+// TestJournalInterleavedDivergenceErrors is the regression test for the old
+// explorer's silent-divergence failure mode: interleaving apply, undo, and
+// accept out of LIFO discipline must surface a clear error, never mutate
+// state behind the search's back.
+func TestJournalInterleavedDivergenceErrors(t *testing.T) {
+	img := compile(t, twoCoreGraph(t))
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+	st := ev.State()
+	fp0 := st.Fingerprint()
+
+	m1 := Swap{Core: 0, Pos: 0}
+	m2 := Swap{Core: 0, Pos: 1}
+	if err := st.Apply(m1); err != nil {
+		t.Fatalf("Apply(m1): %v", err)
+	}
+	if err := st.Apply(m2); err != nil {
+		t.Fatalf("Apply(m2): %v", err)
+	}
+
+	// Undoing m1 under m2 is out of order: the overlay has diverged from
+	// what an m1-undo would assume.
+	err := st.Undo(m1)
+	if err == nil {
+		t.Fatal("Undo out of LIFO order succeeded")
+	}
+	if !strings.Contains(err.Error(), "out of order") || !strings.Contains(err.Error(), m2.String()) {
+		t.Errorf("undo error does not name the divergence: %v", err)
+	}
+
+	// Accepting a third move over the two pending ones is exactly the old
+	// eager-rebase divergence bug; it must be refused.
+	err = ev.Accept(context.Background(), Swap{Core: 1, Pos: 0})
+	if err == nil {
+		t.Fatal("Accept over pending moves succeeded")
+	}
+	if !strings.Contains(err.Error(), "pending") {
+		t.Errorf("accept error does not mention pending moves: %v", err)
+	}
+
+	// Committing the wrong move is refused too.
+	if err := st.Commit(m1); err == nil {
+		t.Fatal("Commit out of LIFO order succeeded")
+	}
+
+	// Proper LIFO unwind restores the initial configuration exactly.
+	if err := st.Undo(m2); err != nil {
+		t.Fatalf("Undo(m2): %v", err)
+	}
+	if err := st.Undo(m1); err != nil {
+		t.Fatalf("Undo(m1): %v", err)
+	}
+	if err := st.Undo(m1); err == nil {
+		t.Fatal("Undo on empty journal succeeded")
+	} else if !strings.Contains(err.Error(), "journal is empty") {
+		t.Errorf("empty-journal undo error unclear: %v", err)
+	}
+	if got := st.Fingerprint(); got != fp0 {
+		t.Fatalf("fingerprint after unwind %s, want %s", got, fp0)
+	}
+
+	// And the state is still fully usable: accept a real move.
+	if err := ev.Accept(context.Background(), m1); err != nil {
+		t.Fatalf("Accept after recovery: %v", err)
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending after accept = %d", st.Pending())
+	}
+}
+
+// TestMoveApplyBoundsErrors checks every malformed move is rejected without
+// touching the state.
+func TestMoveApplyBoundsErrors(t *testing.T) {
+	img := compile(t, twoCoreGraph(t))
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+	st := ev.State()
+	fp0 := st.Fingerprint()
+
+	bad := []Move{
+		Swap{Core: 9, Pos: 0},
+		Swap{Core: 0, Pos: 2}, // core 0 has 3 tasks: pos 2 has no right neighbor
+		Swap{Core: 0, Pos: -1},
+		Remap{Task: 99, To: 1, At: 0},
+		Remap{Task: 0, To: 9, At: 0},
+		Remap{Task: 0, To: 0, At: 0}, // already on core 0
+		Remap{Task: 0, To: 1, At: 5}, // core 1 has 2 tasks
+		SetPolicy{Policy: Policy(42)},
+	}
+	for _, mv := range bad {
+		if err := st.Apply(mv); err == nil {
+			t.Errorf("Apply(%v) succeeded, want error", mv)
+		}
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending after rejected applies = %d", st.Pending())
+	}
+	if got := st.Fingerprint(); got != fp0 {
+		t.Fatalf("rejected applies changed the state: %s vs %s", got, fp0)
+	}
+}
+
+// TestMoveEvalLeavesStateUnchanged: the one-shot neighbor probe restores
+// the state and matches a from-scratch analysis of the neighbor.
+func TestMoveEvalLeavesStateUnchanged(t *testing.T) {
+	ctx := context.Background()
+	g := twoCoreGraph(t)
+	img := compile(t, g)
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+	base := ev.Evaluate(ctx)
+	if !base.Valid() {
+		t.Fatal("baseline unschedulable")
+	}
+	fp0 := ev.State().Fingerprint()
+
+	mv := Swap{Core: 0, Pos: 1}
+	got, err := ev.MoveEval(ctx, mv)
+	if err != nil {
+		t.Fatalf("MoveEval: %v", err)
+	}
+	if ev.State().Pending() != 0 || ev.State().Fingerprint() != fp0 {
+		t.Fatal("MoveEval left the state changed")
+	}
+
+	// Oracle: same swap on a fresh graph, cold.
+	g2 := g.Clone()
+	g2.SwapOrder(0, 1)
+	res, err := testEngine().Analyze(ctx, compile(t, g2))
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	identical(t, "swap neighbor", got.Res, res)
+}
+
+// TestRemapUndoDematerializes: applying a structural move materializes the
+// graph; undoing it returns the state to the warm order-only path with the
+// exact original fingerprint and demand state.
+func TestRemapUndoDematerializes(t *testing.T) {
+	img := compile(t, twoCoreGraph(t))
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+	st := ev.State()
+	fp0 := st.Fingerprint()
+
+	mv := Remap{Task: 3, To: 0, At: 1} // task c → core 0
+	if err := st.Apply(mv); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !st.Structural() {
+		t.Fatal("remap did not mark the state structural")
+	}
+	if st.CoreOf(3) != 0 {
+		t.Fatalf("task 3 on core %d, want 0", st.CoreOf(3))
+	}
+	if err := st.Undo(mv); err != nil {
+		t.Fatalf("Undo: %v", err)
+	}
+	if st.Structural() {
+		t.Fatal("state still structural after undoing the only structural move")
+	}
+	if got := st.Fingerprint(); got != fp0 {
+		t.Fatalf("fingerprint after undo %s, want %s", got, fp0)
+	}
+	if st.CoreOf(3) != 1 {
+		t.Fatalf("task 3 on core %d after undo, want 1", st.CoreOf(3))
+	}
+}
+
+// TestSetPolicyUndoRestoresDemands: a bank-policy flip re-derives every
+// demand vector; undoing restores the originals bit-for-bit (via the
+// fingerprint, which hashes demands).
+func TestSetPolicyUndoRestoresDemands(t *testing.T) {
+	ctx := context.Background()
+	g := twoCoreGraph(t) // built under the default per-core policy
+	img := compile(t, g)
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+	st := ev.State()
+	fp0 := st.Fingerprint()
+
+	mv := SetPolicy{Policy: Shared}
+	if err := st.Apply(mv); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	got := ev.Evaluate(ctx)
+	if !got.Valid() {
+		t.Fatal("shared-bank candidate unschedulable")
+	}
+	// Oracle: recompile the demands of a fresh clone under the shared
+	// policy and analyze cold.
+	g2 := g.Clone()
+	g2.CompileDemands(model.SharedBank)
+	res, err := testEngine().Analyze(ctx, compile(t, g2))
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	identical(t, "shared-bank candidate", got.Res, res)
+	if st.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("structural fingerprint %s, want oracle %s", st.Fingerprint(), g2.Fingerprint())
+	}
+
+	if err := st.Undo(mv); err != nil {
+		t.Fatalf("Undo: %v", err)
+	}
+	if st.Structural() {
+		t.Fatal("state still structural after undo")
+	}
+	if st.Fingerprint() != fp0 {
+		t.Fatalf("fingerprint after undo %s, want %s", st.Fingerprint(), fp0)
+	}
+}
+
+// TestAcceptStructuralRebindsImage: accepting a remap recompiles the edited
+// graph and rebinds the evaluator, after which warm order-only evaluation
+// continues over the new image.
+func TestAcceptStructuralRebindsImage(t *testing.T) {
+	ctx := context.Background()
+	g := twoCoreGraph(t)
+	img := compile(t, g)
+	ev := NewEvaluator(img, testEngine(), false)
+	defer ev.Close()
+
+	mv := Remap{Task: 4, To: 0, At: 0} // independent task d → front of core 0
+	if err := ev.Accept(ctx, mv); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if ev.Image() == img {
+		t.Fatal("structural accept did not rebind the image")
+	}
+	if ev.State().Structural() {
+		t.Fatal("state still structural after rebind")
+	}
+	if got := ev.Image().CoreOf[4]; got != 0 {
+		t.Fatalf("rebased image maps task 4 to core %d, want 0", got)
+	}
+	got := ev.Evaluate(ctx)
+	if !got.Valid() {
+		t.Fatal("rebased baseline unschedulable")
+	}
+}
+
+// remapCorpus is the 50-instance corpus of the remap warm-vs-cold proof:
+// two layered shapes on two platform configurations, seeds rotating.
+func remapCorpus() []gen.Params {
+	shapes := [][2]int{{6, 4}, {4, 6}}
+	var corpus []gen.Params
+	for seed := int64(1); seed <= 25; seed++ {
+		for si, sh := range shapes {
+			p := gen.NewParams(sh[0], sh[1])
+			p.Seed = seed
+			p.Cores, p.Banks = 4, 4
+			p.SharedBank = (seed+int64(si))%2 == 0
+			corpus = append(corpus, p)
+		}
+	}
+	return corpus
+}
+
+// layerOf recovers a generated task's layer from its ID (gen assigns IDs
+// layer-major).
+func layerOf(id model.TaskID, layerSize int) int { return int(id) / layerSize }
+
+// layerInsertPos returns the position in order at which a task of layer l
+// belongs, keeping the order layer-sorted (which keeps the layered graph
+// trivially deadlock-free: every precedence crosses layers forward).
+func layerInsertPos(order []model.TaskID, l, layerSize int) int {
+	for i, id := range order {
+		if layerOf(id, layerSize) > l {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// TestRemapWarmRescheduleMatchesColdCorpus is the mapper/platform-edit
+// proof over a 50-instance corpus: remap a task across cores through the
+// move layer, accept it (recompile + rebind), then evaluate an adjacent
+// swap through the rebased warm analyzer's Reschedule — and require both
+// the remapped baseline and the warm-replayed neighbor to be bit-identical
+// to cold analyses of independently edited graphs.
+func TestRemapWarmRescheduleMatchesColdCorpus(t *testing.T) {
+	ctx := context.Background()
+	eng := testEngine()
+	corpus := remapCorpus()
+	if len(corpus) != 50 {
+		t.Fatalf("corpus has %d instances, want 50", len(corpus))
+	}
+	for ci, p := range corpus {
+		g := gen.MustLayered(p)
+		label := fmt.Sprintf("corpus[%d] %dx%d seed=%d shared=%v", ci, p.Layers, p.LayerSize, p.Seed, p.SharedBank)
+		img := compile(t, g)
+		ev := NewEvaluator(img, eng, false)
+
+		rng := rand.New(rand.NewSource(p.Seed * 101))
+		// Pick a task and a different target core; insert layer-sorted so
+		// the remapped instance stays acyclic and schedulable.
+		task := model.TaskID(rng.Intn(img.NumTasks))
+		to := model.CoreID(rng.Intn(img.Cores - 1))
+		if to >= img.CoreOf[task] {
+			to++
+		}
+		at := layerInsertPos(ev.State().Order(to), layerOf(task, p.LayerSize), p.LayerSize)
+		mv := Remap{Task: task, To: to, At: at}
+
+		// Oracle 1: the remapped instance, edited independently and
+		// analyzed cold.
+		g2 := g.Clone()
+		tab := make([]model.BankID, g2.Cores)
+		for k := range tab {
+			tab[k] = g2.BankOf(model.CoreID(k))
+		}
+		from := g2.Task(task).Core
+		fromPos := -1
+		for i, id := range g2.Order(from) {
+			if id == task {
+				fromPos = i
+			}
+		}
+		src := append([]model.TaskID(nil), g2.Order(from)...)
+		g2.SetOrder(from, append(src[:fromPos:fromPos], src[fromPos+1:]...))
+		dst := append([]model.TaskID(nil), g2.Order(to)[:at]...)
+		dst = append(dst, task)
+		dst = append(dst, g2.Order(to)[at:]...)
+		g2.SetOrder(to, dst)
+		g2.Task(task).Core = to
+		g2.CompileDemands(func(k model.CoreID) model.BankID { return tab[k] })
+		img2 := compile(t, g2)
+		want, err := eng.Analyze(ctx, img2)
+		if err != nil {
+			t.Fatalf("%s: remapped oracle unschedulable: %v", label, err)
+		}
+
+		got, err := ev.MoveEval(ctx, mv)
+		if err != nil {
+			t.Fatalf("%s: MoveEval(%v): %v", label, mv, err)
+		}
+		if !got.Valid() {
+			t.Fatalf("%s: remap candidate scored unschedulable", label)
+		}
+		identical(t, label+" remap candidate", got.Res, want)
+
+		// Accept the remap: the evaluator recompiles and rebinds. The
+		// rebased image must equal the oracle's edit.
+		if err := ev.Accept(ctx, mv); err != nil {
+			t.Fatalf("%s: Accept(%v): %v", label, mv, err)
+		}
+		if gotFP, wantFP := ev.Image().Fingerprint(), img2.Fingerprint(); gotFP != wantFP {
+			t.Fatalf("%s: rebased image fingerprint %s, want %s", label, gotFP, wantFP)
+		}
+		// Re-establish the warm baseline on the rebased image so the next
+		// probe goes through Reschedule, and cross-check it while at it.
+		rebased := ev.Evaluate(ctx)
+		if !rebased.Valid() {
+			t.Fatalf("%s: rebased baseline unschedulable", label)
+		}
+		identical(t, label+" rebased baseline", rebased.Res, want)
+
+		// Now an order move on the rebased image, evaluated through warm
+		// Reschedule, against oracle 2: a cold analysis of the doubly
+		// edited graph.
+		swap, ok := legalSwap(g2, ev.State())
+		if !ok {
+			ev.Close()
+			continue // no dependency-free adjacent pair in this instance
+		}
+		g3 := g2.Clone()
+		g3.SwapOrder(swap.Core, swap.Pos)
+		want2, oracleErr := eng.Analyze(ctx, compile(t, g3))
+		got2, err := ev.MoveEval(ctx, swap)
+		if err != nil {
+			t.Fatalf("%s: MoveEval(%v): %v", label, swap, err)
+		}
+		if oracleErr != nil {
+			// The swap deadlocks across cores: the warm path must agree
+			// that the candidate is unschedulable.
+			if got2.Valid() {
+				t.Fatalf("%s: cold analysis deadlocks (%v) but warm replay produced a schedule", label, oracleErr)
+			}
+			ev.Close()
+			continue
+		}
+		if !got2.Valid() {
+			t.Fatalf("%s: swap candidate scored unschedulable", label)
+		}
+		identical(t, label+" warm swap after remap", got2.Res, want2)
+		ev.Close()
+	}
+}
+
+// legalSwap returns the first adjacent pair of st's orders not linked by a
+// direct dependency in g.
+func legalSwap(g *model.Graph, st *State) (Swap, bool) {
+	for k := 0; k < g.Cores; k++ {
+		order := st.Order(model.CoreID(k))
+		for pos := 0; pos+1 < len(order); pos++ {
+			dep := false
+			for _, s := range g.Successors(order[pos]) {
+				if s == order[pos+1] {
+					dep = true
+					break
+				}
+			}
+			if !dep {
+				return Swap{Core: model.CoreID(k), Pos: pos}, true
+			}
+		}
+	}
+	return Swap{}, false
+}

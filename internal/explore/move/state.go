@@ -1,0 +1,200 @@
+package move
+
+import (
+	"fmt"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// State is one worker's mutable view of the design space over a shared
+// compiled image. While only order moves are in play it is exactly the
+// image's order overlay — cheap, warm-replayable, fingerprinted from the
+// image's frozen digest midstate. The first structural move (Remap,
+// SetPolicy) materializes a private mutable graph; from then on every move
+// edits the graph and candidates are evaluated by recompile + cold
+// analysis, until either all structural moves are undone (the State
+// dematerializes back to the overlay) or a structural configuration is
+// committed and the Evaluator rebinds to a freshly compiled image.
+//
+// Every applied move is pushed on an explicit LIFO journal. Undo and
+// Commit name the move they expect on top; a mismatch means the caller's
+// bookkeeping and the actual overlay diverged, and the State reports it as
+// an error instead of silently producing results for a configuration the
+// search does not think it is in. A State belongs to one goroutine, like
+// the order overlay and warm analyzer under it.
+type State struct {
+	img *engine.Image
+	ord *engine.Orders
+	g   *model.Graph // non-nil while structural moves are in play
+
+	journal []entry
+	// structPending counts structural moves currently in the journal;
+	// structCommitted counts structural moves committed since the last
+	// rebind. The graph dematerializes only when both are zero.
+	structPending   int
+	structCommitted int
+}
+
+// entry is one journal record: the applied move and the revert closure its
+// apply returned.
+type entry struct {
+	mv   Move
+	undo func(*State)
+}
+
+// NewState builds a standalone state over img with a fresh order overlay.
+// Searches that analyze candidates use an Evaluator instead, whose state
+// shares the warm analyzer's overlay.
+func NewState(img *engine.Image) *State {
+	return &State{img: img, ord: img.NewOrders()}
+}
+
+// newState binds a state to an existing overlay (the Evaluator's warm
+// analyzer owns it).
+func newState(img *engine.Image, ord *engine.Orders) *State {
+	return &State{img: img, ord: ord}
+}
+
+// Image returns the compiled image the state is based on.
+func (st *State) Image() *engine.Image { return st.img }
+
+// Order returns core k's current execution order, read from wherever the
+// truth currently lives (graph when structural moves are in play, overlay
+// otherwise). Read-only; valid until the next move.
+func (st *State) Order(k model.CoreID) []model.TaskID {
+	if st.g != nil {
+		return st.g.Order(k)
+	}
+	return st.ord.Order(k)
+}
+
+// CoreOf returns the core task id is currently mapped to.
+func (st *State) CoreOf(id model.TaskID) model.CoreID {
+	if st.g != nil {
+		return st.g.Task(id).Core
+	}
+	return st.img.CoreOf[id]
+}
+
+// Structural reports whether the state currently carries structural edits
+// (a materialized graph), meaning candidates need recompile + cold
+// analysis instead of warm replay.
+func (st *State) Structural() bool { return st.g != nil }
+
+// Pending returns the number of applied-but-uncommitted moves.
+func (st *State) Pending() int { return len(st.journal) }
+
+// Fingerprint returns the canonical content hash of the configuration the
+// state currently describes — byte-identical to compiling the edited graph
+// and fingerprinting it. Order-only states pay O(tasks) via the image's
+// frozen digest midstate; structural states pay a full graph hash.
+func (st *State) Fingerprint() string {
+	if st.g != nil {
+		return st.g.Fingerprint()
+	}
+	return st.img.FingerprintOrders(st.ord)
+}
+
+// Apply performs mv and pushes it on the journal. On error the state is
+// unchanged and nothing is journaled.
+func (st *State) Apply(mv Move) error {
+	undo, err := mv.apply(st)
+	if err != nil {
+		return err
+	}
+	st.journal = append(st.journal, entry{mv: mv, undo: undo})
+	if mv.structural() {
+		st.structPending++
+	}
+	return nil
+}
+
+// Undo reverts mv, which must be the most recently applied uncommitted
+// move. Naming the expected move makes interleaving bugs — the old
+// explorer's silent-divergence failure mode — loud: undoing out of LIFO
+// order or undoing a move that was never applied (or already committed)
+// returns an error and changes nothing.
+func (st *State) Undo(mv Move) error {
+	if len(st.journal) == 0 {
+		return fmt.Errorf("move: Undo(%v): journal is empty — the move was never applied or already committed", mv)
+	}
+	top := st.journal[len(st.journal)-1]
+	if top.mv != mv {
+		return fmt.Errorf("move: Undo(%v): out of order — the last applied move is %v (undo LIFO, or the overlay has diverged from the search's bookkeeping)", mv, top.mv)
+	}
+	st.journal = st.journal[:len(st.journal)-1]
+	top.undo(st)
+	if mv.structural() {
+		st.structPending--
+	}
+	st.dematerialize()
+	return nil
+}
+
+// Commit makes mv permanent: it is removed from the journal (no longer
+// undoable) and becomes part of the configuration later moves build on.
+// Like Undo it must name the journal's top entry.
+func (st *State) Commit(mv Move) error {
+	if len(st.journal) == 0 {
+		return fmt.Errorf("move: Commit(%v): journal is empty — the move was never applied or already committed", mv)
+	}
+	top := st.journal[len(st.journal)-1]
+	if top.mv != mv {
+		return fmt.Errorf("move: Commit(%v): out of order — the last applied move is %v (commit LIFO, or the overlay has diverged from the search's bookkeeping)", mv, top.mv)
+	}
+	st.journal = st.journal[:len(st.journal)-1]
+	if mv.structural() {
+		st.structPending--
+		st.structCommitted++
+	}
+	return nil
+}
+
+// swap routes an adjacent swap to wherever the truth currently lives.
+func (st *State) swap(k model.CoreID, pos int) {
+	if st.g != nil {
+		st.g.SwapOrder(k, pos)
+		return
+	}
+	st.ord.Swap(k, pos)
+}
+
+// graph returns the state's mutable graph, materializing it on the first
+// structural move: a fresh clone of the compiled graph with the overlay's
+// current orders copied in, so the graph picks up exactly where the
+// order-only walk stood.
+func (st *State) graph() *model.Graph {
+	if st.g == nil {
+		g := st.img.NewGraph()
+		for k := 0; k < st.img.Cores; k++ {
+			g.SetOrder(model.CoreID(k), st.ord.Order(model.CoreID(k)))
+		}
+		st.g = g
+	}
+	return st.g
+}
+
+// dematerialize drops the graph once no structural edit remains (every
+// structural move undone, none committed): the surviving order moves are
+// copied back into the overlay — per-core lengths are guaranteed unchanged
+// — and candidates return to the warm-replay path.
+func (st *State) dematerialize() {
+	if st.g == nil || st.structPending > 0 || st.structCommitted > 0 {
+		return
+	}
+	st.ord.CopyFrom(st.g)
+	st.g = nil
+}
+
+// rebind resets the state onto a freshly compiled image after a structural
+// commit (see Evaluator.Rebase). Any journal the caller left behind is
+// gone; Evaluator enforces an empty journal before committing structurally.
+func (st *State) rebind(img *engine.Image, ord *engine.Orders) {
+	st.img = img
+	st.ord = ord
+	st.g = nil
+	st.journal = st.journal[:0]
+	st.structPending = 0
+	st.structCommitted = 0
+}

@@ -1,0 +1,213 @@
+package pareto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"sort"
+)
+
+// Point is one member of a Pareto front: the candidate's canonical graph
+// fingerprint, its bank-assignment policy, and its objective values in the
+// search's objective order. The genome is carried for offline consumers
+// (miaopt's result materialization) but stays out of the serialized form.
+type Point struct {
+	Fingerprint string    `json:"fingerprint"`
+	Policy      string    `json:"policy"`
+	Values      []float64 `json:"values"`
+	Genome      *Genome   `json:"-"`
+}
+
+// dominates reports Pareto dominance: a is no worse than b everywhere and
+// strictly better somewhere (all objectives minimized).
+func dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// archive is the search's global non-dominated set, deduplicated by
+// candidate fingerprint. Merging only ever removes dominated points, so
+// the front reported after each generation is monotonically non-dominated:
+// every earlier point is either still present or dominated by a newer one.
+type archive struct {
+	points []Point
+	seen   map[string]bool // fingerprints ever admitted (dedup, incl. pruned)
+}
+
+func newArchive() *archive {
+	return &archive{seen: make(map[string]bool)}
+}
+
+// add merges one candidate, returning whether the front changed.
+func (a *archive) add(p Point) bool {
+	if a.seen[p.Fingerprint] {
+		return false
+	}
+	a.seen[p.Fingerprint] = true
+	for i := range a.points {
+		if dominates(a.points[i].Values, p.Values) || equalValues(a.points[i].Values, p.Values) {
+			return false
+		}
+	}
+	kept := a.points[:0]
+	for _, q := range a.points {
+		if !dominates(p.Values, q.Values) {
+			kept = append(kept, q)
+		}
+	}
+	a.points = append(kept, p)
+	return true
+}
+
+// front returns the current front in canonical order: objective values
+// lexicographically ascending, fingerprint as the tie-break.
+func (a *archive) front() []Point {
+	out := append([]Point(nil), a.points...)
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Values, out[j].Values
+		for k := range vi {
+			if vi[k] != vj[k] {
+				return vi[k] < vj[k]
+			}
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+func equalValues(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nonDominatedSort is NSGA-II's fast non-dominated sort: it partitions the
+// population (by index) into fronts F₀, F₁, ... where F₀ is the
+// non-dominated set, F₁ is non-dominated once F₀ is removed, and so on.
+// Indices within a front stay in ascending order, one of the determinism
+// anchors of the search.
+func nonDominatedSort(values [][]float64) [][]int {
+	n := len(values)
+	domCount := make([]int, n)    // how many dominate i
+	dominated := make([][]int, n) // whom i dominates
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case dominates(values[i], values[j]):
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			case dominates(values[j], values[i]):
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var cur []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			cur = append(cur, i)
+		}
+	}
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		sort.Ints(next)
+		cur = next
+	}
+	return fronts
+}
+
+// crowdingDistance computes NSGA-II's crowding metric for one front:
+// boundary points get +Inf, interior points the normalized perimeter of
+// the hyper-box spanned by their neighbors per objective. Sorting within
+// each objective breaks value ties by population index, and degenerate
+// ranges (zero spread, or the ±Inf values of unschedulable candidates)
+// contribute nothing — both keep the metric a pure function of the values.
+func crowdingDistance(front []int, values [][]float64) map[int]float64 {
+	dist := make(map[int]float64, len(front))
+	for _, i := range front {
+		dist[i] = 0
+	}
+	if len(front) == 0 {
+		return dist
+	}
+	m := len(values[front[0]])
+	idx := make([]int, len(front))
+	for obj := 0; obj < m; obj++ {
+		copy(idx, front)
+		sort.Slice(idx, func(a, b int) bool {
+			va, vb := values[idx[a]][obj], values[idx[b]][obj]
+			if va != vb {
+				return va < vb
+			}
+			return idx[a] < idx[b]
+		})
+		lo, hi := values[idx[0]][obj], values[idx[len(idx)-1]][obj]
+		span := hi - lo
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[len(idx)-1]] = math.Inf(1)
+		if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+			continue
+		}
+		for p := 1; p+1 < len(idx); p++ {
+			d := (values[idx[p+1]][obj] - values[idx[p-1]][obj]) / span
+			if !math.IsInf(dist[idx[p]], 1) {
+				dist[idx[p]] += d
+			}
+		}
+	}
+	return dist
+}
+
+// encodedFront is the canonical serialized form of a search outcome.
+type encodedFront struct {
+	Objectives  []string `json:"objectives"`
+	Generations int      `json:"generations"`
+	Evaluations int      `json:"evaluations"`
+	Front       []Point  `json:"front"`
+}
+
+// Encode renders the result as canonical JSON: fixed key order, points in
+// canonical front order, no whitespace variance. Byte-identical across
+// worker counts and repeated seeded runs — the property the determinism
+// suite pins.
+func (r *Result) Encode() []byte {
+	b, err := json.MarshalIndent(encodedFront{
+		Objectives:  r.Objectives,
+		Generations: r.Generations,
+		Evaluations: r.Evaluations,
+		Front:       r.Front,
+	}, "", "  ")
+	if err != nil {
+		panic("pareto: front encoding failed: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// FrontFingerprint is the sha256 hex digest of the canonical encoding —
+// the golden value the pareto-smoke CI gate compares against.
+func (r *Result) FrontFingerprint() string {
+	sum := sha256.Sum256(r.Encode())
+	return hex.EncodeToString(sum[:])
+}

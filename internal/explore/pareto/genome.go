@@ -1,0 +1,167 @@
+package pareto
+
+import (
+	"math/rand"
+
+	"github.com/mia-rt/mia/internal/engine"
+	"github.com/mia-rt/mia/internal/explore/move"
+	"github.com/mia-rt/mia/internal/model"
+)
+
+// PolicyBaseline marks a genome that keeps the bank-assignment policy the
+// image was compiled under (whatever table that was), as opposed to one of
+// the explicit move.Policy values a mutation switched to.
+const PolicyBaseline move.Policy = -1
+
+// Genome is one candidate configuration: a full task→core assignment, the
+// per-core execution orders of that assignment, and the bank-assignment
+// policy. The baseline genome mirrors the compiled image; mutations walk
+// all three dimensions.
+type Genome struct {
+	Assign []model.CoreID
+	Orders [][]model.TaskID
+	// Policy is PolicyBaseline or an explicit move.Policy the demands are
+	// re-derived under.
+	Policy move.Policy
+	// structural is true when Assign or Policy differ from the compiled
+	// image, forcing recompile+cold evaluation instead of the warm
+	// order-overlay path.
+	structural bool
+}
+
+// baselineGenome snapshots the compiled image's configuration.
+func baselineGenome(img *engine.Image) *Genome {
+	g := &Genome{
+		Assign: append([]model.CoreID(nil), img.CoreOf...),
+		Orders: make([][]model.TaskID, img.Cores),
+		Policy: PolicyBaseline,
+	}
+	for k := 0; k < img.Cores; k++ {
+		g.Orders[k] = append([]model.TaskID(nil), img.Order(model.CoreID(k))...)
+	}
+	return g
+}
+
+// clone deep-copies the genome.
+func (g *Genome) clone() *Genome {
+	c := &Genome{
+		Assign:     append([]model.CoreID(nil), g.Assign...),
+		Orders:     make([][]model.TaskID, len(g.Orders)),
+		Policy:     g.Policy,
+		structural: g.structural,
+	}
+	for k, ord := range g.Orders {
+		c.Orders[k] = append([]model.TaskID(nil), ord...)
+	}
+	return c
+}
+
+// mutator holds the immutable legality context of the variation operators:
+// the direct-dependency pair set and geometry. All randomness comes from
+// the caller's seeded rng, drawn sequentially in the main search goroutine.
+type mutator struct {
+	img *engine.Image
+	dep map[[2]model.TaskID]bool
+}
+
+func newMutator(img *engine.Image) *mutator {
+	m := &mutator{img: img, dep: make(map[[2]model.TaskID]bool, len(img.Edges()))}
+	for _, e := range img.Edges() {
+		m.dep[[2]model.TaskID{e.From, e.To}] = true
+	}
+	return m
+}
+
+// mutationRetries bounds how often an operator redraws before giving up
+// and leaving the child identical to its parent (a duplicate is harmless:
+// it evaluates to a known point and never enters the archive twice).
+const mutationRetries = 8
+
+// mutate derives a child from parent by one random move: adjacent order
+// swap (70%), task remap (20%), or bank-policy flip (10%).
+func (m *mutator) mutate(parent *Genome, rng *rand.Rand) *Genome {
+	child := parent.clone()
+	switch r := rng.Float64(); {
+	case r < 0.7:
+		m.mutateSwap(child, rng)
+	case r < 0.9:
+		m.mutateRemap(child, rng)
+	default:
+		m.mutatePolicy(child, rng)
+	}
+	return child
+}
+
+// mutateSwap exchanges a random dependency-free adjacent pair on a random
+// core.
+func (m *mutator) mutateSwap(g *Genome, rng *rand.Rand) {
+	for try := 0; try < mutationRetries; try++ {
+		k := rng.Intn(len(g.Orders))
+		ord := g.Orders[k]
+		if len(ord) < 2 {
+			continue
+		}
+		pos := rng.Intn(len(ord) - 1)
+		if m.dep[[2]model.TaskID{ord[pos], ord[pos+1]}] {
+			continue
+		}
+		ord[pos], ord[pos+1] = ord[pos+1], ord[pos]
+		return
+	}
+}
+
+// mutateRemap migrates a random task to a random other core, inserted
+// uniformly within the window that keeps the target order consistent with
+// the task's direct same-core dependencies (after all predecessors, before
+// all successors present on that core). Cross-core cycles can still arise;
+// those candidates evaluate as unschedulable and never reach the front.
+func (m *mutator) mutateRemap(g *Genome, rng *rand.Rand) {
+	if m.img.Cores < 2 {
+		return
+	}
+	for try := 0; try < mutationRetries; try++ {
+		task := model.TaskID(rng.Intn(len(g.Assign)))
+		to := model.CoreID(rng.Intn(m.img.Cores - 1))
+		if to >= g.Assign[task] {
+			to++
+		}
+		dst := g.Orders[to]
+		lo, hi := 0, len(dst)
+		for i, id := range dst {
+			if m.dep[[2]model.TaskID{id, task}] {
+				lo = i + 1
+			}
+			if m.dep[[2]model.TaskID{task, id}] && i < hi {
+				hi = i
+			}
+		}
+		if lo > hi {
+			continue
+		}
+		at := lo + rng.Intn(hi-lo+1)
+		from := g.Assign[task]
+		src := g.Orders[from]
+		fromPos := -1
+		for i, id := range src {
+			if id == task {
+				fromPos = i
+				break
+			}
+		}
+		g.Orders[from] = append(src[:fromPos:fromPos], src[fromPos+1:]...)
+		newDst := make([]model.TaskID, 0, len(dst)+1)
+		newDst = append(newDst, dst[:at]...)
+		newDst = append(newDst, task)
+		newDst = append(newDst, dst[at:]...)
+		g.Orders[to] = newDst
+		g.Assign[task] = to
+		g.structural = true
+		return
+	}
+}
+
+// mutatePolicy switches to a random explicit bank-assignment policy.
+func (m *mutator) mutatePolicy(g *Genome, rng *rand.Rand) {
+	g.Policy = move.Policy(rng.Intn(3))
+	g.structural = true
+}

@@ -24,8 +24,17 @@ type metrics struct {
 	analyze     atomic.Int64
 	reschedule  atomic.Int64
 	batch       atomic.Int64
+	jobs        atomic.Int64
 	healthz     atomic.Int64
 	metricsReqs atomic.Int64
+
+	// Search-job lifecycle: active is a gauge of running jobs, completed
+	// counts jobs that reached a terminal state (done, cancelled, or
+	// failed), frontSize is a gauge of the most recently reported front's
+	// cardinality.
+	jobsActive    atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFrontSize atomic.Int64
 
 	// Graph ingest path split: JSON decode+Compile vs binary wire fast path.
 	ingestJSON atomic.Int64
@@ -210,9 +219,15 @@ type metricsSnapshot struct {
 		Analyze    int64 `json:"analyze"`
 		Reschedule int64 `json:"reschedule"`
 		Batch      int64 `json:"batch"`
+		Jobs       int64 `json:"jobs"`
 		Healthz    int64 `json:"healthz"`
 		Metrics    int64 `json:"metrics"`
 	} `json:"requests"`
+	Jobs struct {
+		Active    int64 `json:"active"`
+		Completed int64 `json:"completed"`
+		FrontSize int64 `json:"front_size"`
+	} `json:"jobs"`
 	Ingest struct {
 		JSON int64 `json:"json"`
 		Wire int64 `json:"wire"`
@@ -261,8 +276,12 @@ func (m *metrics) snapshot(queueDepth, queueCap int, completed int64, graphs int
 	s.Requests.Analyze = m.analyze.Load()
 	s.Requests.Reschedule = m.reschedule.Load()
 	s.Requests.Batch = m.batch.Load()
+	s.Requests.Jobs = m.jobs.Load()
 	s.Requests.Healthz = m.healthz.Load()
 	s.Requests.Metrics = m.metricsReqs.Load()
+	s.Jobs.Active = m.jobsActive.Load()
+	s.Jobs.Completed = m.jobsCompleted.Load()
+	s.Jobs.FrontSize = m.jobsFrontSize.Load()
 	s.Ingest.JSON = m.ingestJSON.Load()
 	s.Ingest.Wire = m.ingestWire.Load()
 	m.items.mu.Lock()

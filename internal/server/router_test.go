@@ -323,3 +323,70 @@ func TestRouterKillShardMidBatch(t *testing.T) {
 		t.Errorf("successor served %d batches, want >= 1 (failover never engaged)", n)
 	}
 }
+
+// TestRouterJobsRoutedByIDPrefix drives the served-search protocol through
+// the router: POST /v1/jobs places the job on the graph fingerprint's
+// primary shard, and every id-addressed request (status, stream, cancel)
+// routes by the job id's fingerprint prefix back to the owner — including
+// when the owner is not first in the ring walk and the 404-continues
+// semantics must find it.
+func TestRouterJobsRoutedByIDPrefix(t *testing.T) {
+	shards, urls := newFleet(t, 3, Config{Workers: 1})
+	router := newFleetRouter(t, urls, shard.Config{Replicas: 2, Retries: 3})
+
+	body := jobBody(t, smokeGraphJSON(t), `,"pop_size":6,"generations":3,"seed":2`)
+	rr := routedDo(router, http.MethodPost, "/v1/jobs", "application/json", body)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("routed job create: got %d (body %s)", rr.Code, rr.Body.String())
+	}
+	job := decodeJob(t, rr.Body.Bytes())
+
+	ring := shard.NewRing(urls, 0)
+	order := ring.Order(job.Hash)
+	primary := shardByURL(shards, order[0])
+	if n := primary.srv.met.jobs.Load(); n < 1 {
+		t.Errorf("primary shard saw %d job requests, want >= 1 (fingerprint routing broken)", n)
+	}
+
+	waitFor(t, "routed job completion", func() bool {
+		rr := routedDo(router, http.MethodGet, "/v1/jobs/"+job.ID, "", nil)
+		return rr.Code == http.StatusOK && decodeJob(t, rr.Body.Bytes()).Status == jobDone
+	})
+
+	srr := routedDo(router, http.MethodGet, "/v1/jobs/"+job.ID+"/stream", "", nil)
+	if srr.Code != http.StatusOK {
+		t.Fatalf("routed job stream: got %d (body %s)", srr.Code, srr.Body.String())
+	}
+	updates, trailer := parseJobStream(t, srr.Body.Bytes())
+	if len(updates) == 0 || trailer.Status != jobDone || trailer.Truncated {
+		t.Fatalf("routed stream: %d updates, trailer %+v; want updates and a done trailer", len(updates), trailer)
+	}
+
+	// A job on a non-primary shard: post a different graph's job directly to
+	// the second shard in its ring order. The routed GET must 404 off the
+	// primary and continue the walk to the owner.
+	p2 := gen.NewParams(4, 3)
+	p2.Seed = 77
+	p2.Cores, p2.Banks = 4, 4
+	g2 := graphJSON(t, gen.MustLayered(p2))
+	body2 := jobBody(t, g2, `,"pop_size":6,"generations":2,"seed":4`)
+	fp2 := roundTrip(t, gen.MustLayered(p2)).Fingerprint()
+	owner := shardByURL(shards, ring.Order(fp2)[1])
+	drr := do(owner.srv, http.MethodPost, "/v1/jobs", bytes.NewReader(body2))
+	if drr.Code != http.StatusAccepted {
+		t.Fatalf("direct job create on successor: got %d (body %s)", drr.Code, drr.Body.String())
+	}
+	job2 := decodeJob(t, drr.Body.Bytes())
+	if got := routedDo(router, http.MethodGet, "/v1/jobs/"+job2.ID, "", nil); got.Code != http.StatusOK {
+		t.Fatalf("routed get of non-primary job: got %d, want 200 via the 404 ring walk (body %s)",
+			got.Code, got.Body.String())
+	}
+	if crr := routedDo(router, http.MethodDelete, "/v1/jobs/"+job2.ID, "", nil); crr.Code != http.StatusOK {
+		t.Fatalf("routed job cancel: got %d (body %s)", crr.Code, crr.Body.String())
+	}
+	waitFor(t, "cancelled job to settle", func() bool {
+		rr := routedDo(router, http.MethodGet, "/v1/jobs/"+job2.ID, "", nil)
+		st := decodeJob(t, rr.Body.Bytes()).Status
+		return st == jobCancelled || st == jobDone
+	})
+}

@@ -82,6 +82,10 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxRequestBytes bounds request bodies (default 32 MiB).
 	MaxRequestBytes int64
+	// MaxJobs bounds concurrently running search jobs (default 2). Job
+	// admission is separate from the unary queue: a full job table sheds
+	// with 429 without touching analyze/reschedule capacity.
+	MaxJobs int
 	// Sched is the base option set for every analysis (arbiter, competitor
 	// merging, ...). Trace and Cancel are ignored: traces would race across
 	// workers, and cancellation is wired per request.
@@ -110,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 32 << 20
 	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 2
+	}
 	c.Sched.Trace = nil
 	c.Sched.Cancel = nil
 	return c
@@ -127,6 +134,7 @@ type Server struct {
 	runner  *pool.Runner[*worker]
 	workers []*worker
 	images  *imageCache
+	jobs    *jobSet
 	met     *metrics
 	mux     *http.ServeMux
 
@@ -153,6 +161,7 @@ func New(cfg Config) *Server {
 		runner:  pool.NewRunner(workers, cfg.QueueDepth),
 		workers: workers,
 		images:  newImageCache(cfg.GraphCacheSize),
+		jobs:    newJobSet(cfg.MaxJobs),
 		met:     newMetrics(),
 		mux:     http.NewServeMux(),
 		drainCh: make(chan struct{}),
@@ -160,6 +169,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/reschedule", s.handleReschedule)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -172,13 +185,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *metrics { return s.met }
 
 // BeginDrain switches the server into draining mode: every subsequent
-// analyze/reschedule/healthz request answers 503 immediately, while requests
-// already admitted to the queue keep running. Idempotent.
+// analyze/reschedule/healthz/job-create request answers 503 immediately,
+// while requests already admitted to the queue keep running. Running search
+// jobs are cancelled — their streams end with a truncated trailer whose
+// reason is "draining", matching the batch path's drain semantics.
+// Idempotent.
 func (s *Server) BeginDrain() {
 	select {
 	case <-s.drainCh:
 	default:
 		close(s.drainCh)
+		s.jobs.cancelAll("draining")
 	}
 }
 
@@ -199,6 +216,7 @@ func (s *Server) draining() bool {
 // waiting for their replies.
 func (s *Server) Close() {
 	s.BeginDrain()
+	s.jobs.wg.Wait() // cancelled by BeginDrain; wait for the goroutines to land
 	s.runner.Drain()
 	// The worker goroutines have exited; release any parked intra-analysis
 	// kernel workers their cached warm analyzers still hold.

@@ -187,6 +187,10 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("POST /v1/analyze", r.handleUnary)
 	r.mux.HandleFunc("POST /v1/reschedule", r.handleUnary)
 	r.mux.HandleFunc("POST /v1/batch", r.handleBatch)
+	r.mux.HandleFunc("POST /v1/jobs", r.handleUnary)
+	r.mux.HandleFunc("GET /v1/jobs/{id}", r.handleJobByID)
+	r.mux.HandleFunc("GET /v1/jobs/{id}/stream", r.handleJobByID)
+	r.mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJobByID)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
 	if cfg.HealthEvery > 0 {
@@ -324,7 +328,7 @@ func (r *Router) routeFingerprint(req *http.Request, path string, body []byte) s
 		return string(body)
 	}
 	switch path {
-	case "/v1/reschedule", "/v1/batch":
+	case "/v1/reschedule", "/v1/batch", "/v1/jobs":
 		var req struct {
 			Hash  string          `json:"hash"`
 			Graph json.RawMessage `json:"graph"`
@@ -452,6 +456,122 @@ func (r *Router) handleUnary(w http.ResponseWriter, req *http.Request) {
 		msg += ": " + lastErr.Error()
 	}
 	errJSON(w, http.StatusBadGateway, msg)
+}
+
+// jobFingerprint extracts the placement key from a job id. Job ids are
+// "<graph-fingerprint>-<seq>" (the shard mints them that way precisely so
+// every request about a job hashes to the shard that owns the graph's
+// traffic); an id without the separator routes by its raw bytes.
+func jobFingerprint(id string) string {
+	if i := bytes.LastIndexByte([]byte(id), '-'); i > 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// handleJobByID routes job status, stream, and cancel requests by the job
+// id's fingerprint prefix. Jobs are shard-resident state (unlike stateless
+// batch items there is nothing to fail over — a successor never ran the
+// search), so a 404 continues the ring walk exactly like handleUnary's: a
+// bounded-load detour can put the owning shard later in the order. Streams
+// relay verbatim with per-chunk flushes; if the owning shard dies
+// mid-stream the stream simply ends — the client re-GETs the job and sees
+// the 404 or the final state.
+func (r *Router) handleJobByID(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	path := "/v1/jobs/" + id
+	stream := false
+	if bytes.HasSuffix([]byte(req.URL.Path), []byte("/stream")) {
+		path += "/stream"
+		stream = true
+	}
+	cands := r.candidates(jobFingerprint(id))
+
+	var lastErr error
+	var notFound *savedVerdict
+	for i, url := range cands {
+		if i > 0 {
+			r.met.retries.Add(1)
+			r.backoff(req.Context())
+			if req.Context().Err() != nil {
+				break
+			}
+		}
+		client := r.client
+		if stream {
+			client = r.batchClient // streams run as long as the job does
+		}
+		t := r.targets[url]
+		t.inflight.Add(1)
+		hreq, err := http.NewRequestWithContext(req.Context(), req.Method, url+path, nil)
+		if err != nil {
+			t.inflight.Add(-1)
+			lastErr = err
+			continue
+		}
+		r.met.forwarded.Add(1)
+		resp, err := client.Do(hreq)
+		t.inflight.Add(-1)
+		if err != nil {
+			if req.Context().Err() == nil {
+				r.markDown(url)
+			}
+			lastErr = err
+			continue
+		}
+		if transientStatus(resp.StatusCode) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard %s answered %d", url, resp.StatusCode)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			notFound = saveVerdict(resp)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard %s answered 404", url)
+			continue
+		}
+		if stream && resp.StatusCode == http.StatusOK {
+			relayStream(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		copyResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	if notFound != nil {
+		notFound.replay(w)
+		return
+	}
+	r.met.noShard.Add(1)
+	msg := "no shard available"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	errJSON(w, http.StatusBadGateway, msg)
+}
+
+// relayStream copies an NDJSON stream through with a flush per read, so
+// front updates reach the client as the shard emits them instead of
+// pooling in a proxy buffer.
+func relayStream(w http.ResponseWriter, body io.Reader) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // savedVerdict is a buffered non-200 shard response held while the ring
